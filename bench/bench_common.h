@@ -1,0 +1,87 @@
+// Shared setup for the paper-reproduction benchmarks. All benchmarks run
+// the simulated cluster with constants scaled 1/64 from the paper
+// (DESIGN.md Section 2): τ = 256 KB memtables, 2 MB/s + 1.5 ms-seek disks,
+// "10 GB database" ≙ 160k 1 KB records. Durations are scaled so every
+// binary finishes in tens of seconds; pass --seconds=N to lengthen runs.
+#ifndef NOVA_BENCH_BENCH_COMMON_H_
+#define NOVA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baseline/baseline.h"
+#include "bench_core/workload.h"
+#include "coord/cluster.h"
+
+namespace nova {
+namespace bench {
+
+struct BenchConfig {
+  double seconds = 2.5;       // measurement window per data point
+  uint64_t num_keys = 24000;  // ≙ paper's 10 GB at 1/64 scale+reduced count
+  int client_threads = 8;
+  size_t value_size = 1024;
+};
+
+inline BenchConfig ParseArgs(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; i++) {
+    double d;
+    long long n;
+    if (sscanf(argv[i], "--seconds=%lf", &d) == 1) {
+      cfg.seconds = d;
+    } else if (sscanf(argv[i], "--keys=%lld", &n) == 1) {
+      cfg.num_keys = n;
+    } else if (sscanf(argv[i], "--threads=%lld", &n) == 1) {
+      cfg.client_threads = static_cast<int>(n);
+    }
+  }
+  return cfg;
+}
+
+/// Paper-scaled cluster defaults: per-node CPU throttle, HDD-like device.
+inline coord::ClusterOptions PaperScaledOptions(int ltcs, int stocs) {
+  coord::ClusterOptions opt;
+  opt.num_ltcs = ltcs;
+  opt.num_stocs = stocs;
+  // Scaled HDD: 2 MB/s ≙ 128 MB/s, 1.5 ms seek.
+  opt.device.bandwidth_bytes_per_sec = 2.0 * 1024 * 1024;
+  opt.device.seek_latency_us = 1500;
+  // Per-node virtual CPU (LTCs bottleneck on CPU in the paper's
+  // CPU-intensive workloads; StoCs rarely do).
+  opt.ltc.cpu_rate_us_per_sec = 400000;   // 0.4 virtual cores
+  opt.stoc.cpu_rate_us_per_sec = 800000;
+  // τ = 256 KB; δ = 32 memtables (≙ 8 MB per range budget by default —
+  // individual benches override α/δ per experiment).
+  opt.range.memtable_size = 256 << 10;
+  opt.range.max_memtables = 32;
+  opt.range.drange.theta = 8;
+  opt.range.drange.warmup_writes = 2000;
+  opt.range.max_sstable_size = 256 << 10;
+  opt.range.lsm.l0_compaction_trigger_bytes = 4 << 20;
+  opt.range.lsm.l0_stop_bytes = 32 << 20;  // ≙ paper's 2 GB L0 cap
+  opt.range.lsm.base_level_bytes = 16 << 20;
+  opt.range.max_parallel_compactions = 4;
+  opt.range.log.mode = logc::LogMode::kNone;  // paper default: disabled
+  opt.range.manifest_replicas = 1;
+  opt.placement.rho = 1;
+  opt.placement.power_of_d = true;
+  opt.stoc.page_cache_bytes = 8 << 20;  // ≙ a few GB of page cache
+  opt.stoc.slab_bytes = 192 << 20;
+  opt.stoc.slab_page_bytes = 512 << 10;
+  return opt;
+}
+
+inline void PrintHeader(const char* title) {
+  printf("==================================================================\n");
+  printf("%s\n", title);
+  printf("(simulated cluster, constants scaled 1/64 — see DESIGN.md)\n");
+  printf("==================================================================\n");
+  fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace nova
+
+#endif  // NOVA_BENCH_BENCH_COMMON_H_

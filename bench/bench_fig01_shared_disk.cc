@@ -1,0 +1,69 @@
+// Figure 1: shared-nothing vs shared-disk with a range-partitioned
+// database across 10 servers (each hosting one LTC + one StoC).
+// Shared-nothing: each LTC writes SSTables only to its local StoC.
+// Shared-disk: blocks scatter across ρ=3 of the β=10 StoCs (power-of-6).
+// The paper reports ~1-1.6x improvement for Uniform and 9-14x for Zipfian.
+#include "bench_common.h"
+
+namespace nova {
+namespace bench {
+
+double RunConfig(const BenchConfig& cfg, WorkloadType type, double theta,
+                 bool shared_disk) {
+  coord::ClusterOptions opt = PaperScaledOptions(10, 10);
+  opt.split_points = EvenSplitPoints(cfg.num_keys, 10);
+  if (shared_disk) {
+    opt.placement.rho = 3;
+    opt.placement.power_of_d = true;
+  } else {
+    opt.placement.rho = 1;
+  }
+  coord::Cluster cluster(opt);
+  cluster.Start();
+  if (!shared_disk) {
+    baseline::MakeSharedNothing(&cluster);
+  }
+  WorkloadSpec spec;
+  spec.num_keys = cfg.num_keys;
+  spec.value_size = cfg.value_size;
+  spec.type = type;
+  spec.zipf_theta = 0;
+  LoadData(&cluster, spec, cfg.client_threads);
+  spec.zipf_theta = theta;
+  spec.type = type;
+  RunResult r = RunWorkload(&cluster, spec, cfg.seconds, cfg.client_threads);
+  cluster.Stop();
+  return r.ops_per_sec;
+}
+
+void Run(const BenchConfig& cfg) {
+  PrintHeader(
+      "Figure 1: shared-nothing vs shared-disk, 10 servers, rho=3 "
+      "power-of-6");
+  printf("%-6s %-8s %15s %15s %8s\n", "wload", "dist", "shared-nothing",
+         "shared-disk", "factor");
+  struct Point {
+    WorkloadType type;
+    double theta;
+  };
+  Point points[] = {
+      {WorkloadType::kRW50, 0},    {WorkloadType::kRW50, 0.99},
+      {WorkloadType::kW100, 0},    {WorkloadType::kW100, 0.99},
+      {WorkloadType::kSW50, 0},    {WorkloadType::kSW50, 0.99},
+  };
+  for (const Point& p : points) {
+    double sn = RunConfig(cfg, p.type, p.theta, false);
+    double sd = RunConfig(cfg, p.type, p.theta, true);
+    printf("%-6s %-8s %15.0f %15.0f %7.1fx\n", WorkloadName(p.type),
+           p.theta > 0 ? "Zipfian" : "Uniform", sn, sd, sd / sn);
+    fflush(stdout);
+  }
+}
+
+}  // namespace bench
+}  // namespace nova
+
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 11: Dranges ablation — Nova-LSM vs Nova-LSM-R (random memtable
+// choice; L0 SSTables span the keyspace, one giant compaction) vs
+// Nova-LSM-S (Dranges without pruning/merging). η=1, β=10, ρ=1, α=64-equiv.
+// Paper: Nova-LSM beats -R by 3-6x on RW50/W100 and by 26x/18x on SW50;
+// it matches -S on Uniform and wins on Zipfian (memtable merging).
+#include "bench_common.h"
+
+namespace nova {
+namespace bench {
+
+double RunSystem(const BenchConfig& cfg, baseline::System system,
+                 WorkloadType type, double theta) {
+  coord::ClusterOptions opt = PaperScaledOptions(1, 10);
+  int ranges_per_server = 1;
+  baseline::ConfigureSystem(system, 32, &opt, &ranges_per_server);
+  opt.placement.rho = 1;
+  coord::Cluster cluster(opt);
+  cluster.Start();
+  WorkloadSpec spec;
+  spec.num_keys = cfg.num_keys;
+  spec.value_size = cfg.value_size;
+  spec.type = WorkloadType::kW100;
+  LoadData(&cluster, spec, cfg.client_threads);
+  spec.type = type;
+  spec.zipf_theta = theta;
+  RunResult r = RunWorkload(&cluster, spec, cfg.seconds, cfg.client_threads);
+  cluster.Stop();
+  return r.ops_per_sec;
+}
+
+void Run(const BenchConfig& cfg) {
+  PrintHeader(
+      "Figure 11: Nova-LSM vs Nova-LSM-R vs Nova-LSM-S "
+      "(eta=1, beta=10, rho=1)");
+  printf("%-6s %-8s %12s %12s %12s %8s %8s\n", "wload", "dist", "Nova-R",
+         "Nova-S", "Nova-LSM", "vs R", "vs S");
+  struct Point {
+    WorkloadType type;
+    double theta;
+  };
+  Point points[] = {
+      {WorkloadType::kRW50, 0},    {WorkloadType::kRW50, 0.99},
+      {WorkloadType::kW100, 0},    {WorkloadType::kW100, 0.99},
+      {WorkloadType::kSW50, 0},    {WorkloadType::kSW50, 0.99},
+  };
+  for (const Point& p : points) {
+    double r = RunSystem(cfg, baseline::System::kNovaLsmR, p.type, p.theta);
+    double s = RunSystem(cfg, baseline::System::kNovaLsmS, p.type, p.theta);
+    double nova = RunSystem(cfg, baseline::System::kNovaLsm, p.type, p.theta);
+    printf("%-6s %-8s %12.0f %12.0f %12.0f %7.1fx %7.1fx\n",
+           WorkloadName(p.type), p.theta > 0 ? "Zipfian" : "Uniform", r, s,
+           nova, nova / r, nova / s);
+    fflush(stdout);
+  }
+}
+
+}  // namespace bench
+}  // namespace nova
+
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseArgs(argc, argv));
+  return 0;
+}

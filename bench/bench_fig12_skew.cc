@@ -1,0 +1,54 @@
+// Figure 12: impact of skew — throughput of RW50/W100/SW50 as the access
+// pattern moves from Uniform through Zipf 0.27 / 0.73 / 0.99.
+// Paper: RW50 and W100 *gain* with skew (memtable hits; fewer unique keys
+// so memtable merging avoids disk writes); SW50 *loses* (scans iterate
+// many versions of hot keys).
+#include "bench_common.h"
+
+namespace nova {
+namespace bench {
+
+void Run(const BenchConfig& cfg) {
+  PrintHeader("Figure 12: impact of skew (eta=1, beta=10, rho=1, theta=16)");
+  printf("%-6s %12s %12s %12s %12s\n", "wload", "Uniform", "Zipf0.27",
+         "Zipf0.73", "Zipf0.99");
+  for (WorkloadType type :
+       {WorkloadType::kRW50, WorkloadType::kW100, WorkloadType::kSW50}) {
+    printf("%-6s", WorkloadName(type));
+    double base = 0;
+    for (double theta : {0.0, 0.27, 0.73, 0.99}) {
+      coord::ClusterOptions opt = PaperScaledOptions(1, 10);
+      opt.range.drange.theta = 16;
+      opt.range.max_memtables = 64;
+      coord::Cluster cluster(opt);
+      cluster.Start();
+      WorkloadSpec spec;
+      spec.num_keys = cfg.num_keys;
+      spec.value_size = cfg.value_size;
+      spec.type = WorkloadType::kW100;
+      LoadData(&cluster, spec, cfg.client_threads);
+      spec.type = type;
+      spec.zipf_theta = theta;
+      RunResult r =
+          RunWorkload(&cluster, spec, cfg.seconds, cfg.client_threads);
+      cluster.Stop();
+      if (theta == 0.0) {
+        base = r.ops_per_sec;
+        printf(" %12.0f", r.ops_per_sec);
+      } else {
+        printf(" %8.0f(%.2f)", r.ops_per_sec,
+               base > 0 ? r.ops_per_sec / base : 0);
+      }
+      fflush(stdout);
+    }
+    printf("\n");
+  }
+}
+
+}  // namespace bench
+}  // namespace nova
+
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseArgs(argc, argv));
+  return 0;
+}

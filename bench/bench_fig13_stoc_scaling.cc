@@ -1,0 +1,59 @@
+// Figure 13: throughput and scalability of one LTC as β grows 1→10
+// (ρ=1, power-of-2, α=64-equiv). Paper: W100 scales best; RW50/SW50 hit
+// the LTC's CPU around 5 StoCs; Zipfian saturates the LTC CPU earlier.
+#include "bench_common.h"
+
+namespace nova {
+namespace bench {
+
+void Run(const BenchConfig& cfg) {
+  PrintHeader("Figure 13: scaling StoCs with one LTC (rho=1, power-of-2)");
+  printf("%-6s %-8s", "wload", "dist");
+  for (int beta : {1, 3, 5, 10}) {
+    printf("   beta=%-2d  ", beta);
+  }
+  printf(" scal(10/1)\n");
+  struct Point {
+    WorkloadType type;
+    double theta;
+  };
+  Point points[] = {
+      {WorkloadType::kRW50, 0},    {WorkloadType::kRW50, 0.99},
+      {WorkloadType::kW100, 0},    {WorkloadType::kW100, 0.99},
+      {WorkloadType::kSW50, 0},    {WorkloadType::kSW50, 0.99},
+  };
+  for (const Point& p : points) {
+    printf("%-6s %-8s", WorkloadName(p.type),
+           p.theta > 0 ? "Zipfian" : "Uniform");
+    double first = 0, last = 0;
+    for (int beta : {1, 3, 5, 10}) {
+      coord::ClusterOptions opt = PaperScaledOptions(1, beta);
+      opt.placement.rho = 1;
+      coord::Cluster cluster(opt);
+      cluster.Start();
+      WorkloadSpec spec;
+      spec.num_keys = cfg.num_keys;
+      spec.value_size = cfg.value_size;
+      spec.type = WorkloadType::kW100;
+      LoadData(&cluster, spec, cfg.client_threads);
+      spec.type = p.type;
+      spec.zipf_theta = p.theta;
+      RunResult r =
+          RunWorkload(&cluster, spec, cfg.seconds, cfg.client_threads);
+      cluster.Stop();
+      if (beta == 1) first = r.ops_per_sec;
+      last = r.ops_per_sec;
+      printf(" %10.0f ", r.ops_per_sec);
+      fflush(stdout);
+    }
+    printf(" %8.2fx\n", first > 0 ? last / first : 0);
+  }
+}
+
+}  // namespace bench
+}  // namespace nova
+
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 14: scaling LTCs η ∈ {1..5} with β=10 StoCs, ρ=3 (power-of-6),
+// Uniform. Paper: SW50 scales super-linearly (the database starts fitting
+// in aggregate memtables), RW50/W100 sub-linearly (disk bandwidth and
+// write stalls take over).
+#include "bench_common.h"
+
+namespace nova {
+namespace bench {
+
+void Run(const BenchConfig& cfg) {
+  PrintHeader("Figure 14: scaling LTCs (beta=10, rho=3, Uniform)");
+  printf("%-6s", "wload");
+  for (int eta = 1; eta <= 5; eta++) {
+    printf("    eta=%-2d  ", eta);
+  }
+  printf(" scal(5/1)\n");
+  for (WorkloadType type :
+       {WorkloadType::kRW50, WorkloadType::kW100, WorkloadType::kSW50}) {
+    printf("%-6s", WorkloadName(type));
+    double first = 0, last = 0;
+    for (int eta = 1; eta <= 5; eta++) {
+      coord::ClusterOptions opt = PaperScaledOptions(eta, 10);
+      opt.split_points = EvenSplitPoints(cfg.num_keys, eta);
+      opt.placement.rho = 3;
+      coord::Cluster cluster(opt);
+      cluster.Start();
+      WorkloadSpec spec;
+      spec.num_keys = cfg.num_keys;
+      spec.value_size = cfg.value_size;
+      spec.type = WorkloadType::kW100;
+      LoadData(&cluster, spec, cfg.client_threads);
+      spec.type = type;
+      RunResult r =
+          RunWorkload(&cluster, spec, cfg.seconds, cfg.client_threads);
+      cluster.Stop();
+      if (eta == 1) first = r.ops_per_sec;
+      last = r.ops_per_sec;
+      printf(" %10.0f ", r.ops_per_sec);
+      fflush(stdout);
+    }
+    printf(" %8.2fx\n", first > 0 ? last / first : 0);
+  }
+}
+
+}  // namespace bench
+}  // namespace nova
+
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseArgs(argc, argv));
+  return 0;
+}

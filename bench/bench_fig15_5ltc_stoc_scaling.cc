@@ -1,0 +1,51 @@
+// Figure 15: β ∈ {1,3,5,10} with η=5 LTCs, ρ=1, Uniform.
+// Paper: RW50 scales super-linearly (page-cache effect as per-StoC data
+// shrinks), W100 sub-linearly past 3 StoCs (write stalls), SW50 flattens
+// once the 5 LTCs' CPUs saturate (~3 StoCs).
+#include "bench_common.h"
+
+namespace nova {
+namespace bench {
+
+void Run(const BenchConfig& cfg) {
+  PrintHeader("Figure 15: scaling StoCs with eta=5 (rho=1, Uniform)");
+  printf("%-6s", "wload");
+  for (int beta : {1, 3, 5, 10}) {
+    printf("   beta=%-2d  ", beta);
+  }
+  printf(" scal(10/1)\n");
+  for (WorkloadType type :
+       {WorkloadType::kRW50, WorkloadType::kW100, WorkloadType::kSW50}) {
+    printf("%-6s", WorkloadName(type));
+    double first = 0, last = 0;
+    for (int beta : {1, 3, 5, 10}) {
+      coord::ClusterOptions opt = PaperScaledOptions(5, beta);
+      opt.split_points = EvenSplitPoints(cfg.num_keys, 5);
+      opt.placement.rho = 1;
+      coord::Cluster cluster(opt);
+      cluster.Start();
+      WorkloadSpec spec;
+      spec.num_keys = cfg.num_keys;
+      spec.value_size = cfg.value_size;
+      spec.type = WorkloadType::kW100;
+      LoadData(&cluster, spec, cfg.client_threads);
+      spec.type = type;
+      RunResult r =
+          RunWorkload(&cluster, spec, cfg.seconds, cfg.client_threads);
+      cluster.Stop();
+      if (beta == 1) first = r.ops_per_sec;
+      last = r.ops_per_sec;
+      printf(" %10.0f ", r.ops_per_sec);
+      fflush(stdout);
+    }
+    printf(" %8.2fx\n", first > 0 ? last / first : 0);
+  }
+}
+
+}  // namespace bench
+}  // namespace nova
+
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 16: SSTable replication degree R ∈ {1, 2, 3, Hybrid} under
+// Uniform (η=1, β=10). (a) throughput: replication consumes disk
+// bandwidth, halving W100 at R=2; SW50 (CPU-bound) barely moves.
+// (b) per-StoC disk bandwidth utilization for W100.
+#include "bench_common.h"
+
+namespace nova {
+namespace bench {
+
+void Run(const BenchConfig& cfg) {
+  PrintHeader("Figure 16: SSTable replication (Uniform, eta=1, beta=10)");
+  struct Mode {
+    const char* label;
+    int replicas;
+    bool parity;
+  };
+  Mode modes[] = {{"R=1", 1, false},
+                  {"R=2", 2, false},
+                  {"R=3", 3, false},
+                  {"Hybrid", 1, true}};
+  printf("%-6s", "wload");
+  for (const Mode& m : modes) {
+    printf(" %12s", m.label);
+  }
+  printf("\n");
+  for (WorkloadType type :
+       {WorkloadType::kRW50, WorkloadType::kW100, WorkloadType::kSW50}) {
+    printf("%-6s", WorkloadName(type));
+    for (const Mode& m : modes) {
+      coord::ClusterOptions opt = PaperScaledOptions(1, 10);
+      opt.placement.rho = 3;
+      opt.placement.num_data_replicas = m.replicas;
+      opt.placement.use_parity = m.parity;
+      opt.placement.num_meta_replicas = m.parity ? 3 : 1;
+      coord::Cluster cluster(opt);
+      cluster.Start();
+      WorkloadSpec spec;
+      spec.num_keys = cfg.num_keys;
+      spec.value_size = cfg.value_size;
+      spec.type = WorkloadType::kW100;
+      LoadData(&cluster, spec, cfg.client_threads);
+      spec.type = type;
+      RunResult r =
+          RunWorkload(&cluster, spec, cfg.seconds, cfg.client_threads);
+      printf(" %12.0f", r.ops_per_sec);
+      fflush(stdout);
+      if (type == WorkloadType::kW100) {
+        // (b): record per-StoC disk bandwidth for the W100 row.
+        printf("\n    %s disk util:", m.label);
+        for (int i = 0; i < cluster.num_stocs(); i++) {
+          printf(" %2.0f%%", 100.0 * cluster.device(i)->WindowUtilization());
+        }
+        printf("\n%-6s", "");
+      }
+      cluster.Stop();
+    }
+    printf("\n");
+  }
+}
+
+}  // namespace bench
+}  // namespace nova
+
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseArgs(argc, argv));
+  return 0;
+}

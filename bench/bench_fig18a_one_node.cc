@@ -1,0 +1,72 @@
+// Figure 18a: one server, "10 GB" database — Nova-LSM vs LevelDB,
+// LevelDB* (64 instances), RocksDB, RocksDB*, RocksDB-tuned. Everything
+// runs on the shared substrate (1 LTC + 1 co-located StoC); differences
+// are architectural. Paper: comparable on Uniform (Nova loses up to ~15%
+// on SW50 from index upkeep), 7-105x wins on Zipfian.
+#include "bench_common.h"
+
+namespace nova {
+namespace bench {
+
+double RunSystem(const BenchConfig& cfg, baseline::System system,
+                 WorkloadType type, double theta) {
+  coord::ClusterOptions opt = PaperScaledOptions(1, 1);
+  int ranges_per_server = 1;
+  baseline::ConfigureSystem(system, 32, &opt, &ranges_per_server);
+  if (ranges_per_server > 1) {
+    opt.split_points = EvenSplitPoints(cfg.num_keys, ranges_per_server);
+  }
+  opt.placement.rho = 1;
+  coord::Cluster cluster(opt);
+  cluster.Start();
+  WorkloadSpec spec;
+  spec.num_keys = cfg.num_keys;
+  spec.value_size = cfg.value_size;
+  spec.type = WorkloadType::kW100;
+  LoadData(&cluster, spec, cfg.client_threads);
+  spec.type = type;
+  spec.zipf_theta = theta;
+  RunResult r = RunWorkload(&cluster, spec, cfg.seconds, cfg.client_threads);
+  cluster.Stop();
+  return r.ops_per_sec;
+}
+
+void Run(const BenchConfig& cfg) {
+  PrintHeader("Figure 18a: one node, 10 GB-equivalent database");
+  baseline::System systems[] = {
+      baseline::System::kLevelDB,     baseline::System::kLevelDBStar,
+      baseline::System::kRocksDB,     baseline::System::kRocksDBStar,
+      baseline::System::kRocksDBTuned, baseline::System::kNovaLsm};
+  printf("%-6s %-8s", "wload", "dist");
+  for (auto s : systems) {
+    printf(" %13s", baseline::SystemName(s));
+  }
+  printf("\n");
+  struct Point {
+    WorkloadType type;
+    double theta;
+  };
+  Point points[] = {
+      {WorkloadType::kRW50, 0},    {WorkloadType::kRW50, 0.99},
+      {WorkloadType::kW100, 0},    {WorkloadType::kW100, 0.99},
+      {WorkloadType::kSW50, 0},    {WorkloadType::kSW50, 0.99},
+  };
+  for (const Point& p : points) {
+    printf("%-6s %-8s", WorkloadName(p.type),
+           p.theta > 0 ? "Zipfian" : "Uniform");
+    for (auto s : systems) {
+      double ops = RunSystem(cfg, s, p.type, p.theta);
+      printf(" %13.0f", ops);
+      fflush(stdout);
+    }
+    printf("\n");
+  }
+}
+
+}  // namespace bench
+}  // namespace nova
+
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseArgs(argc, argv));
+  return 0;
+}

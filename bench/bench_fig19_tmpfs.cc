@@ -1,0 +1,75 @@
+// Figure 19: storage as fast as memory (the paper uses tmpfs). Devices
+// have (near) zero service time, so the CPU becomes the bottleneck:
+// Nova-LSM still wins on Zipfian (2-7x vs LevelDB*) but loses 10-30% on
+// Uniform to its index maintenance and xchg polling.
+#include "bench_common.h"
+
+namespace nova {
+namespace bench {
+
+double RunSystem(const BenchConfig& cfg, baseline::System system,
+                 WorkloadType type, double theta) {
+  coord::ClusterOptions opt = PaperScaledOptions(10, 10);
+  // tmpfs: effectively infinite bandwidth, no seeks.
+  opt.device.bandwidth_bytes_per_sec = 4e9;
+  opt.device.seek_latency_us = 0;
+  int ranges_per_server = 1;
+  baseline::ConfigureSystem(system, 16, &opt, &ranges_per_server);
+  opt.split_points =
+      EvenSplitPoints(cfg.num_keys, 10 * std::min(ranges_per_server, 4));
+  bool nova = system == baseline::System::kNovaLsm;
+  opt.placement.rho = nova ? 3 : 1;
+  coord::Cluster cluster(opt);
+  cluster.Start();
+  if (!nova) {
+    baseline::MakeSharedNothing(&cluster);
+  }
+  WorkloadSpec spec;
+  spec.num_keys = cfg.num_keys;
+  spec.value_size = cfg.value_size;
+  spec.type = WorkloadType::kW100;
+  LoadData(&cluster, spec, cfg.client_threads);
+  spec.type = type;
+  spec.zipf_theta = theta;
+  RunResult r = RunWorkload(&cluster, spec, cfg.seconds, cfg.client_threads);
+  cluster.Stop();
+  return r.ops_per_sec;
+}
+
+void Run(const BenchConfig& cfg) {
+  PrintHeader("Figure 19: tmpfs-speed storage (CPU-bound), 10 nodes");
+  baseline::System systems[] = {baseline::System::kLevelDBStar,
+                                baseline::System::kRocksDBStar,
+                                baseline::System::kNovaLsm};
+  printf("%-6s %-8s", "wload", "dist");
+  for (auto s : systems) {
+    printf(" %13s", baseline::SystemName(s));
+  }
+  printf("\n");
+  struct Point {
+    WorkloadType type;
+    double theta;
+  };
+  Point points[] = {
+      {WorkloadType::kRW50, 0},    {WorkloadType::kRW50, 0.99},
+      {WorkloadType::kW100, 0},    {WorkloadType::kW100, 0.99},
+      {WorkloadType::kSW50, 0},    {WorkloadType::kSW50, 0.99},
+  };
+  for (const Point& p : points) {
+    printf("%-6s %-8s", WorkloadName(p.type),
+           p.theta > 0 ? "Zipfian" : "Uniform");
+    for (auto s : systems) {
+      printf(" %13.0f", RunSystem(cfg, s, p.type, p.theta));
+      fflush(stdout);
+    }
+    printf("\n");
+  }
+}
+
+}  // namespace bench
+}  // namespace nova
+
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figure 20: elasticity.
+//  (a) SW50 Uniform (CPU-bound): start with 1 LTC, add LTCs (migrating
+//      half the ranges each time), then remove them. Peak throughput
+//      follows the LTC count.
+//  (b) RW50 Uniform (disk-bound): start with 3 LTCs + 3 StoCs, add StoCs
+//      one at a time, then remove them gracefully. Throughput follows the
+//      aggregate disk bandwidth.
+#include <thread>
+
+#include "bench_common.h"
+
+namespace nova {
+namespace bench {
+
+void RunLtcElasticity(const BenchConfig& cfg) {
+  printf("-- (a) SW50 Uniform: +LTC / -LTC --\n");
+  coord::ClusterOptions opt = PaperScaledOptions(3, 10);
+  opt.split_points = EvenSplitPoints(cfg.num_keys, 6);
+  opt.placement.rho = 3;
+  coord::Cluster cluster(opt);
+  cluster.Start();
+  // Start with everything on LTC 0.
+  for (uint32_t r = 0; r < 6; r++) {
+    cluster.MigrateRange(r, 0, 4);
+  }
+  WorkloadSpec spec;
+  spec.num_keys = cfg.num_keys;
+  spec.value_size = cfg.value_size;
+  spec.type = WorkloadType::kW100;
+  LoadData(&cluster, spec, cfg.client_threads);
+  spec.type = WorkloadType::kSW50;
+
+  std::atomic<bool> stop{false};
+  std::thread driver([&] {
+    auto phase = [&](const char* label) {
+      RunResult r =
+          RunWorkload(&cluster, spec, cfg.seconds, cfg.client_threads, &stop);
+      printf("%-8s %9.0f ops/s  timeline:", label, r.ops_per_sec);
+      for (uint64_t w : r.per_second) {
+        printf(" %llu", static_cast<unsigned long long>(w));
+      }
+      printf("\n");
+      fflush(stdout);
+    };
+    phase("1 LTC");
+    // +1 LTC: move half the ranges.
+    for (uint32_t r = 3; r < 6; r++) cluster.MigrateRange(r, 1, 4);
+    phase("+1 LTC");
+    for (uint32_t r = 4; r < 6; r++) cluster.MigrateRange(r, 2, 4);
+    phase("+1 LTC");
+    for (uint32_t r = 4; r < 6; r++) cluster.MigrateRange(r, 1, 4);
+    phase("-1 LTC");
+    for (uint32_t r = 3; r < 6; r++) cluster.MigrateRange(r, 0, 4);
+    phase("-1 LTC");
+  });
+  driver.join();
+  cluster.Stop();
+}
+
+void RunStocElasticity(const BenchConfig& cfg) {
+  printf("-- (b) RW50 Uniform: +StoC / -StoC --\n");
+  coord::ClusterOptions opt = PaperScaledOptions(3, 3);
+  opt.split_points = EvenSplitPoints(cfg.num_keys, 3);
+  opt.placement.rho = 1;
+  coord::Cluster cluster(opt);
+  cluster.Start();
+  WorkloadSpec spec;
+  spec.num_keys = cfg.num_keys;
+  spec.value_size = cfg.value_size;
+  spec.type = WorkloadType::kW100;
+  LoadData(&cluster, spec, cfg.client_threads);
+  spec.type = WorkloadType::kRW50;
+
+  auto phase = [&](const char* label) {
+    RunResult r =
+        RunWorkload(&cluster, spec, cfg.seconds, cfg.client_threads);
+    printf("%-8s %9.0f ops/s (beta=%d alive)\n", label, r.ops_per_sec,
+           static_cast<int>(cluster.AliveStocNodes().size()));
+    fflush(stdout);
+  };
+  phase("3 StoC");
+  std::vector<int> added;
+  for (int i = 0; i < 3; i++) {
+    added.push_back(cluster.AddStoc());
+    phase("+1 StoC");
+  }
+  for (int i = 2; i >= 0; i--) {
+    cluster.RemoveStocGraceful(added[i]);
+    phase("-1 StoC");
+  }
+  cluster.Stop();
+}
+
+void Run(const BenchConfig& cfg) {
+  PrintHeader("Figure 20: elasticity (adding/removing LTCs and StoCs)");
+  RunLtcElasticity(cfg);
+  RunStocElasticity(cfg);
+}
+
+}  // namespace bench
+}  // namespace nova
+
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseArgs(argc, argv));
+  return 0;
+}

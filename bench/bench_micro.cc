@@ -1,0 +1,149 @@
+// Microbenchmarks of the substrate components (google-benchmark):
+// memtable insert/lookup, bloom filter, SSTable build/read, slab
+// allocator, log record codec, and the RDMA fabric emulation.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "logc/log_record.h"
+#include "mem/memtable.h"
+#include "rdma/fabric.h"
+#include "sstable/bloom.h"
+#include "sstable/sstable_builder.h"
+#include "sstable/sstable_reader.h"
+#include "util/slab_allocator.h"
+#include "util/zipfian.h"
+
+namespace nova {
+namespace {
+
+std::string Key(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%012llu",
+           static_cast<unsigned long long>(i));
+  return buf;
+}
+
+void BM_MemTableAdd(benchmark::State& state) {
+  InternalKeyComparator icmp;
+  auto mem = std::make_shared<MemTable>(icmp, 1);
+  uint64_t seq = 1;
+  std::string value(128, 'v');
+  Random rng(1);
+  for (auto _ : state) {
+    mem->Add(seq++, kTypeValue, Key(rng.Uniform(100000)), value);
+    if (seq % 100000 == 0) {
+      state.PauseTiming();
+      mem = std::make_shared<MemTable>(icmp, seq);
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_MemTableAdd);
+
+void BM_MemTableGet(benchmark::State& state) {
+  InternalKeyComparator icmp;
+  MemTable mem(icmp, 1);
+  std::string value(128, 'v');
+  for (uint64_t i = 0; i < 10000; i++) {
+    mem.Add(i + 1, kTypeValue, Key(i), value);
+  }
+  Random rng(2);
+  std::string out;
+  for (auto _ : state) {
+    LookupKey lkey(Key(rng.Uniform(10000)), kMaxSequenceNumber);
+    Status s;
+    benchmark::DoNotOptimize(mem.Get(lkey, &out, &s));
+  }
+}
+BENCHMARK(BM_MemTableGet);
+
+void BM_BloomCheck(benchmark::State& state) {
+  std::vector<std::string> keys;
+  std::vector<Slice> slices;
+  for (int i = 0; i < 10000; i++) {
+    keys.push_back(Key(i));
+  }
+  for (auto& k : keys) {
+    slices.emplace_back(k);
+  }
+  std::string filter = BloomFilter::Create(slices, 10);
+  Random rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BloomFilter::KeyMayMatch(Key(rng.Uniform(20000)), filter));
+  }
+}
+BENCHMARK(BM_BloomCheck);
+
+void BM_SSTableBuild(benchmark::State& state) {
+  std::string value(1024, 'v');
+  for (auto _ : state) {
+    SSTableBuilder builder;
+    for (int i = 0; i < 256; i++) {
+      std::string ikey;
+      AppendInternalKey(&ikey, ParsedInternalKey(Key(i), i + 1, kTypeValue));
+      builder.Add(ikey, value);
+    }
+    auto result = builder.Finish(1, 3);
+    benchmark::DoNotOptimize(result.data.size());
+  }
+}
+BENCHMARK(BM_SSTableBuild);
+
+void BM_SlabAllocator(benchmark::State& state) {
+  SlabAllocator::Options opt;
+  SlabAllocator slab(opt);
+  for (auto _ : state) {
+    char* p = slab.Allocate(1024);
+    benchmark::DoNotOptimize(p);
+    slab.Free(p, 1024);
+  }
+}
+BENCHMARK(BM_SlabAllocator);
+
+void BM_LogRecordCodec(benchmark::State& state) {
+  logc::LogRecord rec;
+  rec.memtable_id = 7;
+  rec.sequence = 1234;
+  rec.key = Key(42);
+  rec.value = std::string(1024, 'v');
+  for (auto _ : state) {
+    std::string buf;
+    logc::EncodeLogRecord(&buf, rec);
+    Slice in(buf);
+    logc::LogRecord out;
+    benchmark::DoNotOptimize(logc::DecodeLogRecord(&in, &out));
+  }
+}
+BENCHMARK(BM_LogRecordCodec);
+
+void BM_FabricOneSidedWrite(benchmark::State& state) {
+  rdma::RdmaFabric fabric;
+  fabric.AddNode(0);
+  fabric.AddNode(1);
+  std::vector<char> region(1 << 20);
+  fabric.RegisterMemory(1, 1, region.data(), region.size());
+  std::string data(state.range(0), 'x');
+  uint64_t offset = 0;
+  for (auto _ : state) {
+    fabric.Write(0, data, rdma::RemoteAddr{1, 1, offset}, false, 0);
+    offset = (offset + data.size()) % (region.size() - data.size());
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_FabricOneSidedWrite)->Arg(128)->Arg(1024)->Arg(16384);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  ZipfianGenerator gen(1000000, 0.99);
+  Random rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next(&rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext);
+
+}  // namespace
+}  // namespace nova
+
+BENCHMARK_MAIN();

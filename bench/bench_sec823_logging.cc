@@ -1,0 +1,70 @@
+// Section 8.2.3: logging overhead.
+//  (a) Put service time: logging disabled vs 3x in-memory replication via
+//      one-sided RDMA vs the NIC path (StoC CPUs do the copies).
+//      Paper: 0.49 ms vs 0.51 ms (+4%) vs 1.07 ms (2.1x RDMA).
+//  (b) Throughput impact of logging under W100 Uniform and Zipfian.
+#include "bench_common.h"
+
+namespace nova {
+namespace bench {
+
+void RunServiceTime(const BenchConfig& cfg, const char* label,
+                    logc::LogMode mode, bool nic) {
+  coord::ClusterOptions opt = PaperScaledOptions(1, 3);
+  opt.range.log.mode = mode;
+  opt.range.log.num_replicas = 3;
+  opt.range.log.use_nic_path = nic;
+  coord::Cluster cluster(opt);
+  cluster.Start();
+  WorkloadSpec spec;
+  spec.num_keys = cfg.num_keys / 4;
+  spec.value_size = cfg.value_size;
+  spec.type = WorkloadType::kW100;
+  RunResult r = RunWorkload(&cluster, spec, cfg.seconds / 2, 4);
+  printf("%-34s avg %7.0f us  p95 %7.0f us  (%6.0f ops/s)\n", label,
+         r.write_latency->Average(), r.write_latency->Percentile(95),
+         r.ops_per_sec);
+  fflush(stdout);
+  cluster.Stop();
+}
+
+void RunThroughput(const BenchConfig& cfg, const char* label, double theta,
+                   logc::LogMode mode) {
+  coord::ClusterOptions opt = PaperScaledOptions(1, 10);
+  opt.range.log.mode = mode;
+  opt.range.log.num_replicas = 3;
+  coord::Cluster cluster(opt);
+  cluster.Start();
+  WorkloadSpec spec;
+  spec.num_keys = cfg.num_keys;
+  spec.value_size = cfg.value_size;
+  spec.type = WorkloadType::kW100;
+  spec.zipf_theta = theta;
+  RunResult r = RunWorkload(&cluster, spec, cfg.seconds, cfg.client_threads);
+  printf("%-34s %9.0f ops/s\n", label, r.ops_per_sec);
+  fflush(stdout);
+  cluster.Stop();
+}
+
+void Run(const BenchConfig& cfg) {
+  PrintHeader("Section 8.2.3: logging overhead");
+  printf("-- put service time (3 replicas) --\n");
+  RunServiceTime(cfg, "logging disabled", logc::LogMode::kNone, false);
+  RunServiceTime(cfg, "RDMA in-memory replication x3",
+                 logc::LogMode::kInMemory, false);
+  RunServiceTime(cfg, "NIC-path replication x3 (StoC CPU)",
+                 logc::LogMode::kInMemory, true);
+  printf("-- W100 throughput --\n");
+  RunThroughput(cfg, "Uniform, logging off", 0, logc::LogMode::kNone);
+  RunThroughput(cfg, "Uniform, logging on", 0, logc::LogMode::kInMemory);
+  RunThroughput(cfg, "Zipfian, logging off", 0.99, logc::LogMode::kNone);
+  RunThroughput(cfg, "Zipfian, logging on", 0.99, logc::LogMode::kInMemory);
+}
+
+}  // namespace bench
+}  // namespace nova
+
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseArgs(argc, argv));
+  return 0;
+}

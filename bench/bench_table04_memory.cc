@@ -1,0 +1,54 @@
+// Table 4: vertical scalability — W100 Uniform throughput as the memory
+// assigned to one LTC grows (α/δ doubling, τ fixed), η=1, β=10, ρ=1.
+// Paper: 8.9k ops/s at 32 MB (δ=2) rising super-linearly to ~246k at
+// 4 GB (δ=256), leveling off once StoC bandwidth saturates.
+#include "bench_common.h"
+
+namespace nova {
+namespace bench {
+
+void Run(const BenchConfig& cfg) {
+  PrintHeader("Table 4: W100 Uniform vs memory size (eta=1, beta=10, rho=1)");
+  printf("%-12s %5s %5s %12s %10s\n", "memory(eq)", "alpha", "delta",
+         "ops/s", "stall%");
+  struct Row {
+    const char* label;
+    int alpha;
+    int delta;
+  };
+  // τ=256 KB: δ=2 ≙ the paper's 32 MB two-memtable config at 1/64 scale.
+  Row rows[] = {{"32 MB", 1, 2},   {"64 MB", 2, 4},   {"128 MB", 4, 8},
+                {"256 MB", 8, 16}, {"512 MB", 16, 32}, {"1 GB", 32, 64},
+                {"2 GB", 64, 128}};
+  for (const Row& row : rows) {
+    coord::ClusterOptions opt = PaperScaledOptions(1, 10);
+    opt.range.max_memtables = row.delta;
+    opt.range.drange.theta = row.alpha;
+    opt.range.num_active_memtables = row.alpha;
+    opt.range.max_parallel_compactions = std::max(1, row.alpha / 2);
+    opt.placement.rho = 1;
+    coord::Cluster cluster(opt);
+    cluster.Start();
+    WorkloadSpec spec;
+    spec.num_keys = cfg.num_keys;
+    spec.value_size = cfg.value_size;
+    spec.type = WorkloadType::kW100;
+    RunResult r =
+        RunWorkload(&cluster, spec, cfg.seconds, cfg.client_threads);
+    auto stats = cluster.TotalStats();
+    printf("%-12s %5d %5d %12.0f %9.1f%%\n", row.label, row.alpha,
+           row.delta, r.ops_per_sec,
+           100.0 * stats.stall_us / 1e6 / r.duration_sec /
+               cfg.client_threads);
+    fflush(stdout);
+    cluster.Stop();
+  }
+}
+
+}  // namespace bench
+}  // namespace nova
+
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseArgs(argc, argv));
+  return 0;
+}

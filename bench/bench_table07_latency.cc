@@ -1,0 +1,64 @@
+// Table 7: average / p95 / p99 response times under a LOW load (few
+// client threads) with the 2 TB-equivalent database and Zipfian access:
+// R100, RW50, SW50, W100 for LevelDB*, RocksDB* (shared-nothing: 85% of
+// requests queue on one disk) vs Nova-LSM (indexes + all 10 disks).
+// Paper: Nova-LSM improves avg/p95/p99 by >3x.
+#include "bench_common.h"
+
+namespace nova {
+namespace bench {
+
+void RunSystem(const BenchConfig& cfg, baseline::System system) {
+  coord::ClusterOptions opt = PaperScaledOptions(10, 10);
+  int ranges_per_server = 1;
+  baseline::ConfigureSystem(system, 16, &opt, &ranges_per_server);
+  opt.split_points =
+      EvenSplitPoints(cfg.num_keys * 2, 10 * std::min(ranges_per_server, 4));
+  bool nova = system == baseline::System::kNovaLsm;
+  opt.placement.rho = nova ? 3 : 1;
+  coord::Cluster cluster(opt);
+  cluster.Start();
+  if (!nova) {
+    baseline::MakeSharedNothing(&cluster);
+  }
+  WorkloadSpec spec;
+  spec.num_keys = cfg.num_keys * 2;  // "2 TB" scaled
+  spec.value_size = cfg.value_size;
+  spec.type = WorkloadType::kW100;
+  LoadData(&cluster, spec, cfg.client_threads);
+  printf("%-14s", baseline::SystemName(system));
+  for (WorkloadType type : {WorkloadType::kR100, WorkloadType::kRW50,
+                            WorkloadType::kSW50, WorkloadType::kW100}) {
+    spec.type = type;
+    spec.zipf_theta = 0.99;
+    // Low system load: 2 closed-loop clients (paper: 60 threads on a
+    // 10-node cluster ≙ light).
+    RunResult r = RunWorkload(&cluster, spec, cfg.seconds, 2);
+    Histogram merged;
+    merged.Merge(*r.read_latency);
+    merged.Merge(*r.write_latency);
+    merged.Merge(*r.scan_latency);
+    printf(" | %6.1f %6.1f %6.1f", merged.Average() / 1000.0,
+           merged.Percentile(95) / 1000.0, merged.Percentile(99) / 1000.0);
+    fflush(stdout);
+  }
+  printf("\n");
+  cluster.Stop();
+}
+
+void Run(const BenchConfig& cfg) {
+  PrintHeader("Table 7: response times (ms), Zipfian, 2TB-eq, low load");
+  printf("%-14s | %20s | %20s | %20s | %20s\n", "", "R100 avg/p95/p99",
+         "RW50 avg/p95/p99", "SW50 avg/p95/p99", "W100 avg/p95/p99");
+  RunSystem(cfg, baseline::System::kLevelDBStar);
+  RunSystem(cfg, baseline::System::kRocksDBStar);
+  RunSystem(cfg, baseline::System::kNovaLsm);
+}
+
+}  // namespace bench
+}  // namespace nova
+
+int main(int argc, char** argv) {
+  nova::bench::Run(nova::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,137 @@
+#include "baseline/baseline.h"
+
+namespace nova {
+namespace baseline {
+
+const char* SystemName(System system) {
+  switch (system) {
+    case System::kLevelDB:
+      return "LevelDB";
+    case System::kLevelDBStar:
+      return "LevelDB*";
+    case System::kRocksDB:
+      return "RocksDB";
+    case System::kRocksDBStar:
+      return "RocksDB*";
+    case System::kRocksDBTuned:
+      return "RocksDB-tuned";
+    case System::kNovaLsm:
+      return "Nova-LSM";
+    case System::kNovaLsmR:
+      return "Nova-LSM-R";
+    case System::kNovaLsmS:
+      return "Nova-LSM-S";
+  }
+  return "?";
+}
+
+void ConfigureSystem(System system, int total_memtables_per_server,
+                     coord::ClusterOptions* options,
+                     int* ranges_per_server) {
+  ltc::RangeEngineOptions& r = options->range;
+  switch (system) {
+    case System::kLevelDB:
+      *ranges_per_server = 1;
+      r.enable_dranges = false;
+      r.enable_lookup_index = false;
+      r.enable_range_index = false;
+      r.enable_memtable_merge = false;
+      r.num_active_memtables = 1;
+      r.max_memtables = 2;
+      r.max_parallel_compactions = 1;
+      break;
+    case System::kLevelDBStar:
+      *ranges_per_server = 64;
+      r.enable_dranges = false;
+      r.enable_lookup_index = false;
+      r.enable_range_index = false;
+      r.enable_memtable_merge = false;
+      r.num_active_memtables = 1;
+      r.max_memtables = 2;
+      r.max_parallel_compactions = 1;
+      break;
+    case System::kRocksDB:
+      *ranges_per_server = 1;
+      r.enable_dranges = false;
+      r.enable_lookup_index = false;
+      r.enable_range_index = false;
+      r.enable_memtable_merge = false;
+      r.num_active_memtables = 1;
+      r.max_memtables = total_memtables_per_server;
+      r.max_parallel_compactions = 4;
+      break;
+    case System::kRocksDBStar:
+      *ranges_per_server = 64;
+      r.enable_dranges = false;
+      r.enable_lookup_index = false;
+      r.enable_range_index = false;
+      r.enable_memtable_merge = false;
+      r.num_active_memtables = 1;
+      r.max_memtables = 2;
+      r.max_parallel_compactions = 2;
+      break;
+    case System::kRocksDBTuned:
+      // The fig18 harness sweeps knobs; this is the center point.
+      *ranges_per_server = 1;
+      r.enable_dranges = false;
+      r.enable_lookup_index = false;
+      r.enable_range_index = false;
+      r.enable_memtable_merge = false;
+      r.num_active_memtables = 1;
+      r.max_memtables = total_memtables_per_server;
+      r.max_parallel_compactions = 4;
+      r.lsm.l0_stop_bytes *= 2;  // more L0 headroom before stalling
+      break;
+    case System::kNovaLsm:
+      *ranges_per_server = 1;
+      r.enable_dranges = true;
+      r.enable_lookup_index = true;
+      r.enable_range_index = true;
+      r.enable_memtable_merge = true;
+      r.max_memtables = total_memtables_per_server;
+      r.drange.theta =
+          std::max(2, total_memtables_per_server / 4);  // α = θ
+      r.max_parallel_compactions = std::max(2, r.drange.theta / 2);
+      break;
+    case System::kNovaLsmR:
+      *ranges_per_server = 1;
+      r.enable_dranges = false;  // random active memtable choice
+      r.enable_lookup_index = true;
+      r.enable_range_index = true;
+      r.enable_memtable_merge = false;
+      r.num_active_memtables = std::max(2, total_memtables_per_server / 4);
+      r.max_memtables = total_memtables_per_server;
+      r.max_parallel_compactions =
+          std::max(2, r.num_active_memtables / 2);
+      break;
+    case System::kNovaLsmS:
+      *ranges_per_server = 1;
+      r.enable_dranges = true;
+      r.drange.static_after_first_major = true;
+      r.enable_lookup_index = true;
+      r.enable_range_index = true;
+      r.enable_memtable_merge = false;  // no pruning/merging (Section 8.2.1)
+      r.max_memtables = total_memtables_per_server;
+      r.drange.theta = std::max(2, total_memtables_per_server / 4);
+      r.max_parallel_compactions = std::max(2, r.drange.theta / 2);
+      break;
+  }
+}
+
+void MakeSharedNothing(coord::Cluster* cluster) {
+  coord::Configuration cfg = cluster->coordinator()->config();
+  for (const auto& assignment : cfg.ranges) {
+    ltc::RangeEngine* engine =
+        cluster->ltc(assignment.ltc_index)->GetRange(assignment.range_id);
+    if (engine == nullptr) {
+      continue;
+    }
+    // SSTables of this range land only on the co-located StoC.
+    int stoc_index = assignment.ltc_index % cluster->num_stocs();
+    engine->placer()->UpdateStocs(
+        {coord::Cluster::StocNode(stoc_index)});
+  }
+}
+
+}  // namespace baseline
+}  // namespace nova

@@ -1,0 +1,48 @@
+// Baseline configurations reproducing the paper's comparators
+// (Section 8.3) on the *same* substrate, so measured differences are
+// architectural rather than incidental:
+//   * LevelDB        — one range per server, 1 active + 1 immutable
+//                      memtable, single-threaded compaction, no Dranges,
+//                      no lookup/range index, no memtable merging.
+//   * LevelDB*       — 64 such ranges (instances) per server.
+//   * RocksDB        — one range, 128 memtables, parallel compaction.
+//   * RocksDB*       — 64 ranges, 2 memtables each.
+//   * RocksDB-tuned  — one range with enumerated knob settings (the bench
+//                      harness sweeps and reports the best).
+// All run shared-nothing: each server's SSTables go to its co-located
+// StoC only (use Cluster + MakeSharedNothing helper).
+#ifndef NOVA_BASELINE_BASELINE_H_
+#define NOVA_BASELINE_BASELINE_H_
+
+#include "coord/cluster.h"
+
+namespace nova {
+namespace baseline {
+
+enum class System {
+  kLevelDB,
+  kLevelDBStar,
+  kRocksDB,
+  kRocksDBStar,
+  kRocksDBTuned,
+  kNovaLsm,
+  kNovaLsmR,  // ablation: random memtable choice (Section 8.2.1)
+  kNovaLsmS,  // ablation: static Dranges, no memtable merging
+};
+
+const char* SystemName(System system);
+
+/// Fill the range/placement templates of `options` for the given system,
+/// scaling the per-range memtable budget so every system uses the same
+/// total memory. ranges_per_server is ω (64 for the * variants).
+void ConfigureSystem(System system, int total_memtables_per_server,
+                     coord::ClusterOptions* options, int* ranges_per_server);
+
+/// Restrict every range's SSTable placement to the StoC co-located with
+/// its LTC (the shared-nothing layout of Figure 1; requires η == β).
+void MakeSharedNothing(coord::Cluster* cluster);
+
+}  // namespace baseline
+}  // namespace nova
+
+#endif  // NOVA_BASELINE_BASELINE_H_

@@ -1,0 +1,67 @@
+// YCSB-style workload generation and a closed-loop load driver
+// (paper Section 8.1): RW50 / SW50 / W100 / R100 over Uniform or Zipfian
+// key distributions, 1 KB records, 10-record scans, measured throughput,
+// per-second time series, and avg/p95/p99 latencies.
+#ifndef NOVA_BENCH_CORE_WORKLOAD_H_
+#define NOVA_BENCH_CORE_WORKLOAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coord/cluster.h"
+#include "util/histogram.h"
+#include "util/zipfian.h"
+
+namespace nova {
+namespace bench {
+
+enum class WorkloadType { kRW50, kSW50, kW100, kR100 };
+
+const char* WorkloadName(WorkloadType type);
+
+struct WorkloadSpec {
+  WorkloadType type = WorkloadType::kW100;
+  uint64_t num_keys = 100000;
+  size_t value_size = 1024;
+  /// <= 0 means Uniform; otherwise the Zipfian constant (0.99 default).
+  double zipf_theta = 0;
+  int scan_length = 10;
+  uint64_t seed = 42;
+};
+
+/// "user%012d"-formatted key for index i.
+std::string MakeKey(uint64_t i);
+/// Interior split points dividing [0, num_keys) evenly into `parts`.
+std::vector<std::string> EvenSplitPoints(uint64_t num_keys, int parts);
+
+struct RunResult {
+  double ops_per_sec = 0;
+  uint64_t total_ops = 0;
+  uint64_t errors = 0;
+  double duration_sec = 0;
+  /// Completed ops per 1-second window (write-stall timelines, Fig 2/20).
+  std::vector<uint64_t> per_second;
+  std::shared_ptr<Histogram> read_latency;
+  std::shared_ptr<Histogram> write_latency;
+  std::shared_ptr<Histogram> scan_latency;
+};
+
+/// Load `num_keys` records (sequential bulk load across client threads).
+void LoadData(coord::Cluster* cluster, const WorkloadSpec& spec,
+              int num_threads);
+
+/// Closed-loop run: num_threads clients issue spec's mix for
+/// duration_sec. stop (optional) ends the run early when set.
+RunResult RunWorkload(coord::Cluster* cluster, const WorkloadSpec& spec,
+                      double duration_sec, int num_threads,
+                      const std::atomic<bool>* stop = nullptr);
+
+/// Pretty one-line summary ("  RW50 Zipf0.99  12345 ops/s ...").
+std::string Summarize(const WorkloadSpec& spec, const RunResult& result);
+
+}  // namespace bench
+}  // namespace nova
+
+#endif  // NOVA_BENCH_CORE_WORKLOAD_H_

@@ -1,0 +1,80 @@
+#include "client/nova_client.h"
+
+#include <chrono>
+#include <thread>
+
+namespace nova {
+namespace client {
+
+NovaClient::NovaClient(coord::Cluster* cluster) : cluster_(cluster) {
+  cached_ = cluster_->coordinator()->config();
+}
+
+ltc::LtcServer* NovaClient::Route(const Slice& key) {
+  std::lock_guard<std::mutex> l(mu_);
+  int idx = cached_.LtcForKey(key);
+  if (idx < 0 ||
+      cached_.epoch != cluster_->coordinator()->epoch()) {
+    cached_ = cluster_->coordinator()->config();
+    config_refreshes_++;
+    idx = cached_.LtcForKey(key);
+  }
+  if (idx < 0) {
+    return nullptr;
+  }
+  return cluster_->ltc(idx);
+}
+
+Status NovaClient::Put(const Slice& key, const Slice& value) {
+  for (int attempt = 0; attempt < 100; attempt++) {
+    ltc::LtcServer* server = Route(key);
+    if (server == nullptr) {
+      return Status::InvalidArgument("key outside all ranges");
+    }
+    Status s = server->Put(key, value);
+    if (!s.IsInvalidArgument() && !s.IsUnavailable()) {
+      return s;
+    }
+    // Stale config (migration in progress): refresh and retry.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    std::lock_guard<std::mutex> l(mu_);
+    cached_ = cluster_->coordinator()->config();
+    config_refreshes_++;
+  }
+  return Status::Unavailable("range unavailable");
+}
+
+Status NovaClient::Get(const Slice& key, std::string* value) {
+  for (int attempt = 0; attempt < 100; attempt++) {
+    ltc::LtcServer* server = Route(key);
+    if (server == nullptr) {
+      return Status::InvalidArgument("key outside all ranges");
+    }
+    Status s = server->Get(key, value);
+    if (!s.IsInvalidArgument() && !s.IsUnavailable()) {
+      return s;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    std::lock_guard<std::mutex> l(mu_);
+    cached_ = cluster_->coordinator()->config();
+    config_refreshes_++;
+  }
+  return Status::Unavailable("range unavailable");
+}
+
+Status NovaClient::Delete(const Slice& key) {
+  ltc::LtcServer* server = Route(key);
+  if (server == nullptr) {
+    return Status::InvalidArgument("key outside all ranges");
+  }
+  return server->Delete(key);
+}
+
+Status NovaClient::Scan(
+    const Slice& start_key, int num_records,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  return cluster_->Scan(start_key, num_records, out);
+}
+
+}  // namespace client
+}  // namespace nova

@@ -1,0 +1,43 @@
+// Client library: routes requests to LTCs using a cached copy of the
+// coordinator's configuration (paper Section 3: "Nova-LSM clients use this
+// configuration information to direct a request to an LTC with relevant
+// data"). On a routing miss (range migrated, LTC change) it refreshes the
+// configuration and retries — the Rejig-style epoch protocol [30, 31].
+#ifndef NOVA_CLIENT_NOVA_CLIENT_H_
+#define NOVA_CLIENT_NOVA_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "coord/cluster.h"
+
+namespace nova {
+namespace client {
+
+class NovaClient {
+ public:
+  explicit NovaClient(coord::Cluster* cluster);
+
+  Status Put(const Slice& key, const Slice& value);
+  Status Get(const Slice& key, std::string* value);
+  Status Delete(const Slice& key);
+  Status Scan(const Slice& start_key, int num_records,
+              std::vector<std::pair<std::string, std::string>>* out);
+
+  /// Times the cached configuration was refreshed due to routing misses.
+  uint64_t config_refreshes() const { return config_refreshes_; }
+
+ private:
+  /// Returns the LTC for key per the cached config, refreshing on miss.
+  ltc::LtcServer* Route(const Slice& key);
+
+  coord::Cluster* cluster_;
+  coord::Configuration cached_;
+  std::mutex mu_;
+  uint64_t config_refreshes_ = 0;
+};
+
+}  // namespace client
+}  // namespace nova
+
+#endif  // NOVA_CLIENT_NOVA_CLIENT_H_

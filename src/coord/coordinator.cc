@@ -1,0 +1,60 @@
+#include "coord/coordinator.h"
+
+namespace nova {
+namespace coord {
+
+int Configuration::LtcForKey(const Slice& key) const {
+  for (const auto& r : ranges) {
+    bool ge_lower = r.lower.empty() || key.compare(r.lower) >= 0;
+    bool lt_upper = r.upper.empty() || key.compare(r.upper) < 0;
+    if (ge_lower && lt_upper) {
+      return r.ltc_index;
+    }
+  }
+  return -1;
+}
+
+Configuration Coordinator::config() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return config_;
+}
+
+void Coordinator::UpdateConfig(Configuration config) {
+  std::lock_guard<std::mutex> l(mu_);
+  config.epoch = config_.epoch + 1;
+  config_ = std::move(config);
+}
+
+uint64_t Coordinator::epoch() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return config_.epoch;
+}
+
+void Coordinator::GrantLease(rdma::NodeId node) {
+  std::lock_guard<std::mutex> l(mu_);
+  leases_[node] = Clock::now() + std::chrono::milliseconds(lease_ms_);
+}
+
+bool Coordinator::Heartbeat(rdma::NodeId node) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = leases_.find(node);
+  if (it == leases_.end() || it->second < Clock::now()) {
+    return false;  // expired: the node must stop serving
+  }
+  it->second = Clock::now() + std::chrono::milliseconds(lease_ms_);
+  return true;
+}
+
+bool Coordinator::IsLeaseValid(rdma::NodeId node) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = leases_.find(node);
+  return it != leases_.end() && it->second >= Clock::now();
+}
+
+void Coordinator::ExpireLease(rdma::NodeId node) {
+  std::lock_guard<std::mutex> l(mu_);
+  leases_.erase(node);
+}
+
+}  // namespace coord
+}  // namespace nova

@@ -1,0 +1,231 @@
+#include "logc/log_client.h"
+
+#include "util/logging.h"
+
+namespace nova {
+namespace logc {
+
+LogClient::LogClient(stoc::StocClient* stoc_client, uint32_t range_id,
+                     const LogOptions& options)
+    : stoc_client_(stoc_client), range_id_(range_id), options_(options) {}
+
+Status LogClient::CreateLogFile(uint64_t memtable_id,
+                                const std::vector<rdma::NodeId>& stocs) {
+  if (options_.mode == LogMode::kNone) {
+    return Status::OK();
+  }
+  auto state = std::make_unique<LogFileState>();
+  uint64_t file_id =
+      stoc::MakeFileId(range_id_, static_cast<uint32_t>(memtable_id),
+                       stoc::FileKind::kLog, 0);
+  if (options_.mode == LogMode::kInMemory ||
+      options_.mode == LogMode::kBoth) {
+    int replicas = std::min<int>(options_.num_replicas,
+                                 static_cast<int>(stocs.size()));
+    for (int r = 0; r < replicas; r++) {
+      stoc::InMemFileHandle handle;
+      Status s = stoc_client_->OpenInMemFile(stocs[r], file_id,
+                                             options_.region_size, &handle);
+      if (!s.ok()) {
+        return s;
+      }
+      state->replicas.push_back(std::move(handle));
+    }
+  }
+  if (options_.mode == LogMode::kPersistent ||
+      options_.mode == LogMode::kBoth) {
+    state->persistent_stoc = stocs[0];
+    state->persistent_file_id = file_id;
+  }
+  std::lock_guard<std::mutex> l(mu_);
+  files_[memtable_id] = std::move(state);
+  return Status::OK();
+}
+
+bool LogClient::HasLogFile(uint64_t memtable_id) {
+  std::lock_guard<std::mutex> l(mu_);
+  return files_.count(memtable_id) > 0;
+}
+
+Status LogClient::AppendInMemory(LogFileState* state, const Slice& encoded) {
+  // Reserve an offset (and possibly pad into a fresh region) under the
+  // file lock; the actual one-sided writes proceed outside it.
+  uint64_t write_offset;
+  std::vector<std::pair<uint64_t, bool>> padding;  // (offset, needs marker)
+  {
+    std::lock_guard<std::mutex> l(state->mu);
+    uint64_t region_size = state->replicas.front().regions.front().size;
+    uint64_t base = state->current_region * region_size;
+    uint64_t local = state->next_offset - base;
+    if (encoded.size() + kPaddingBytes > region_size) {
+      return Status::InvalidArgument("log record larger than region");
+    }
+    if (local + encoded.size() + kPaddingBytes > region_size) {
+      // Write a padding marker and move to a new region on every replica.
+      padding.emplace_back(state->next_offset, true);
+      for (auto& replica : state->replicas) {
+        Status s = stoc_client_->ExtendInMemFile(&replica);
+        if (!s.ok()) {
+          return s;
+        }
+      }
+      state->current_region++;
+      state->next_offset = state->current_region * region_size;
+    }
+    write_offset = state->next_offset;
+    state->next_offset += encoded.size();
+  }
+  std::string marker;
+  if (!padding.empty()) {
+    PutFixed32(&marker, kPaddingMarker);
+  }
+  for (const auto& replica : state->replicas) {
+    for (const auto& [off, needs] : padding) {
+      Status s = stoc_client_->WriteInMem(replica, off, marker);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    Status s = options_.use_nic_path
+                   ? NicAppend(replica, write_offset, encoded)
+                   : stoc_client_->WriteInMem(replica, write_offset, encoded);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status LogClient::Append(uint64_t memtable_id, const LogRecord& rec) {
+  if (options_.mode == LogMode::kNone) {
+    return Status::OK();
+  }
+  LogFileState* state;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = files_.find(memtable_id);
+    if (it == files_.end()) {
+      return Status::InvalidArgument("no log file for memtable");
+    }
+    state = it->second.get();
+  }
+  std::string encoded;
+  EncodeLogRecord(&encoded, rec);
+  if (!state->replicas.empty()) {
+    Status s = AppendInMemory(state, encoded);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  if (state->persistent_stoc >= 0) {
+    stoc::StocBlockHandle handle;
+    Status s = stoc_client_->AppendBlock(state->persistent_stoc,
+                                         state->persistent_file_id, encoded,
+                                         &handle);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  records_appended_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status LogClient::DeleteLogFile(uint64_t memtable_id) {
+  if (options_.mode == LogMode::kNone) {
+    return Status::OK();
+  }
+  std::unique_ptr<LogFileState> state;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = files_.find(memtable_id);
+    if (it == files_.end()) {
+      return Status::OK();  // already gone (idempotent)
+    }
+    state = std::move(it->second);
+    files_.erase(it);
+  }
+  for (const auto& replica : state->replicas) {
+    stoc_client_->DeleteFile(replica.stoc_id, replica.file_id, true);
+  }
+  if (state->persistent_stoc >= 0) {
+    stoc_client_->DeleteFile(state->persistent_stoc,
+                             state->persistent_file_id, false);
+  }
+  return Status::OK();
+}
+
+Status LogClient::NicAppend(const stoc::InMemFileHandle& handle,
+                            uint64_t global_offset, const Slice& data) {
+  return stoc_client_->NicAppend(handle, global_offset, data);
+}
+
+void LogClient::Adopt(uint64_t memtable_id,
+                      std::vector<stoc::InMemFileHandle> replicas) {
+  auto state = std::make_unique<LogFileState>();
+  state->replicas = std::move(replicas);
+  std::lock_guard<std::mutex> l(mu_);
+  files_[memtable_id] = std::move(state);
+}
+
+Status LogClient::FetchAllLogRecords(
+    stoc::StocClient* stoc_client, const std::vector<rdma::NodeId>& stocs,
+    uint32_t range_id,
+    std::map<uint64_t, std::vector<LogRecord>>* by_memtable,
+    std::map<uint64_t, std::vector<stoc::InMemFileHandle>>* handles_out) {
+  // Collect each log file's first reachable replica (and remember every
+  // replica for adoption).
+  std::map<uint64_t, stoc::InMemFileHandle> files;
+  for (rdma::NodeId stoc : stocs) {
+    std::vector<stoc::InMemFileHandle> handles;
+    Status s = stoc_client->QueryLogFiles(stoc, range_id, &handles);
+    if (!s.ok()) {
+      continue;  // this StoC may be down; replicas cover for it
+    }
+    for (auto& h : handles) {
+      if (handles_out != nullptr) {
+        (*handles_out)[h.file_id].push_back(h);
+      }
+      files.emplace(h.file_id, std::move(h));
+    }
+  }
+  for (const auto& [file_id, handle] : files) {
+    for (size_t r = 0; r < handle.regions.size(); r++) {
+      std::string region_bytes;
+      Status s = stoc_client->ReadInMemRegion(handle, r, &region_bytes);
+      if (!s.ok()) {
+        // The file may have been deleted between the query and the read
+        // (its memtable flushed concurrently); its data is durable in the
+        // SSTable, so skip it.
+        break;
+      }
+      Slice input(region_bytes);
+      bool next_region = false;
+      while (!next_region) {
+        LogRecord rec;
+        switch (DecodeLogRecord(&input, &rec)) {
+          case DecodeResult::kRecord:
+            (*by_memtable)[rec.memtable_id].push_back(std::move(rec));
+            break;
+          case DecodeResult::kPadding:
+            next_region = true;
+            break;
+          case DecodeResult::kEnd:
+            if (input.size() < 4) {
+              // Region exhausted without an explicit end: continue in the
+              // next region if there is one.
+              next_region = true;
+            } else {
+              // Genuine end of this log file.
+              r = handle.regions.size();
+              next_region = true;
+            }
+            break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace logc
+}  // namespace nova

@@ -1,0 +1,63 @@
+#include "logc/log_record.h"
+
+#include "util/coding.h"
+
+namespace nova {
+namespace logc {
+
+void EncodeLogRecord(std::string* dst, const LogRecord& rec) {
+  std::string body;
+  PutVarint64(&body, rec.memtable_id);
+  PutVarint64(&body, rec.sequence);
+  body.push_back(static_cast<char>(rec.type));
+  PutLengthPrefixedSlice(&body, rec.key);
+  PutLengthPrefixedSlice(&body, rec.value);
+  PutFixed32(dst, static_cast<uint32_t>(body.size()));
+  dst->append(body);
+}
+
+size_t EncodedLogRecordSize(const LogRecord& rec) {
+  std::string tmp;
+  EncodeLogRecord(&tmp, rec);
+  return tmp.size();
+}
+
+DecodeResult DecodeLogRecord(Slice* input, LogRecord* rec) {
+  if (input->size() < 4) {
+    return DecodeResult::kEnd;
+  }
+  uint32_t len = DecodeFixed32(input->data());
+  if (len == 0) {
+    return DecodeResult::kEnd;
+  }
+  if (len == kPaddingMarker) {
+    input->remove_prefix(kPaddingBytes);
+    return DecodeResult::kPadding;
+  }
+  if (input->size() < 4 + static_cast<size_t>(len)) {
+    return DecodeResult::kEnd;
+  }
+  Slice body(input->data() + 4, len);
+  uint64_t mid, seq;
+  Slice key, value;
+  if (!GetVarint64(&body, &mid) || !GetVarint64(&body, &seq) ||
+      body.empty()) {
+    return DecodeResult::kEnd;
+  }
+  uint8_t type = static_cast<uint8_t>(body[0]);
+  body.remove_prefix(1);
+  if (type > kTypeValue || !GetLengthPrefixedSlice(&body, &key) ||
+      !GetLengthPrefixedSlice(&body, &value)) {
+    return DecodeResult::kEnd;
+  }
+  rec->memtable_id = mid;
+  rec->sequence = seq;
+  rec->type = static_cast<ValueType>(type);
+  rec->key = key.ToString();
+  rec->value = value.ToString();
+  input->remove_prefix(4 + len);
+  return DecodeResult::kRecord;
+}
+
+}  // namespace logc
+}  // namespace nova

@@ -1,0 +1,41 @@
+// Log record wire format (paper Section 5): self-contained records of the
+// form (record size, memtable id, key size, key, value size, value,
+// sequence number). A record with size 0 marks the end of the written
+// prefix (regions are zero-initialized); size 0xFFFFFFFF is a padding
+// marker telling the reader to continue in the next region.
+#ifndef NOVA_LOGC_LOG_RECORD_H_
+#define NOVA_LOGC_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "mem/dbformat.h"
+#include "util/slice.h"
+
+namespace nova {
+namespace logc {
+
+struct LogRecord {
+  uint64_t memtable_id = 0;
+  SequenceNumber sequence = 0;
+  ValueType type = kTypeValue;
+  std::string key;
+  std::string value;
+};
+
+constexpr uint32_t kPaddingMarker = 0xFFFFFFFFu;
+/// Bytes a padding marker occupies (just the length word).
+constexpr size_t kPaddingBytes = 4;
+
+void EncodeLogRecord(std::string* dst, const LogRecord& rec);
+size_t EncodedLogRecordSize(const LogRecord& rec);
+
+enum class DecodeResult { kRecord, kEnd, kPadding };
+/// Parse one record from *input (advancing it). kEnd on a zero length or
+/// malformed record; kPadding on a padding marker.
+DecodeResult DecodeLogRecord(Slice* input, LogRecord* rec);
+
+}  // namespace logc
+}  // namespace nova
+
+#endif  // NOVA_LOGC_LOG_RECORD_H_

@@ -1,0 +1,92 @@
+// Compaction picking and execution (paper Sections 2.1, 4.3).
+//
+// Picking: choose the level with the highest ratio of actual to expected
+// size, then split its work into *disjoint* jobs that can run in parallel:
+// L0 SSTables produced by different Dranges are mutually exclusive, so L0
+// jobs are the connected components of key-range overlap among {L0 files}
+// ∪ {their overlapping L1 files}. Higher levels produce one job per input
+// file whose next-level overlap is unclaimed.
+//
+// Execution: a k-way merge over the inputs that keeps only the newest
+// version of each user key (and drops tombstones at the bottom level),
+// splitting outputs at Drange boundaries and the max SSTable size, and
+// writing them through the SSTablePlacer. Jobs serialize, so an LTC can
+// offload them to a StoC (Section 4.3 "Offloading") which runs the same
+// executor against its own StoC client.
+#ifndef NOVA_LSM_COMPACTION_H_
+#define NOVA_LSM_COMPACTION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lsm/table_io.h"
+#include "lsm/version.h"
+#include "sim/cpu_throttle.h"
+
+namespace nova {
+namespace lsm {
+
+struct CompactionJob {
+  int input_level = 0;
+  int output_level = 1;
+  std::vector<FileMetaRef> inputs;       // files at input_level
+  std::vector<FileMetaRef> inputs_next;  // overlapping files at output_level
+  /// Upper bounds (user keys) at which outputs must split so L0 outputs
+  /// respect Drange boundaries (Section 4.3).
+  std::vector<std::string> boundaries;
+  uint64_t max_output_bytes = 512 << 10;
+  /// Tombstones can be dropped when compacting into the last level.
+  bool is_last_level = false;
+  /// Pre-allocated file-number block for the outputs (offloaded StoCs
+  /// cannot mint numbers themselves).
+  uint64_t first_output_number = 0;
+
+  uint64_t total_input_bytes() const {
+    uint64_t n = 0;
+    for (const auto& f : inputs) n += f->data_size;
+    for (const auto& f : inputs_next) n += f->data_size;
+    return n;
+  }
+
+  std::string Serialize() const;
+  Status Deserialize(Slice input);
+};
+
+struct CompactionResult {
+  std::vector<FileMetaData> outputs;
+  uint64_t records_in = 0;
+  uint64_t records_out = 0;
+
+  std::string Serialize() const;
+  Status Deserialize(Slice input);
+};
+
+class CompactionPicker {
+ public:
+  /// Jobs for the most oversized level of v (empty when nothing to do).
+  /// At most max_jobs are returned, disjoint by construction.
+  static std::vector<CompactionJob> Pick(const VersionSet& vs, VersionRef v,
+                                         int max_jobs);
+
+  /// Score of a level (actual/expected size); compaction triggers > 1.
+  static double Score(const VersionSet& vs, const Version& v, int level);
+};
+
+class CompactionExecutor {
+ public:
+  CompactionExecutor(TableCache* cache, SSTablePlacer* placer,
+                     sim::CpuThrottle* throttle);
+
+  Status Run(const CompactionJob& job, CompactionResult* result);
+
+ private:
+  TableCache* cache_;
+  SSTablePlacer* placer_;
+  sim::CpuThrottle* throttle_;
+};
+
+}  // namespace lsm
+}  // namespace nova
+
+#endif  // NOVA_LSM_COMPACTION_H_

@@ -1,0 +1,101 @@
+#include "lsm/file_meta.h"
+
+#include "util/coding.h"
+
+namespace nova {
+namespace lsm {
+namespace {
+
+void PutLocation(std::string* dst, const BlockLocation& loc) {
+  PutVarint32(dst, static_cast<uint32_t>(loc.stoc_id + 1));
+  PutVarint64(dst, loc.file_id);
+}
+
+bool GetLocation(Slice* input, BlockLocation* loc) {
+  uint32_t sid;
+  if (!GetVarint32(input, &sid) || !GetVarint64(input, &loc->file_id)) {
+    return false;
+  }
+  loc->stoc_id = static_cast<int32_t>(sid) - 1;
+  return true;
+}
+
+}  // namespace
+
+void FileMetaData::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, number);
+  PutVarint64(dst, data_size);
+  PutLengthPrefixedSlice(dst, smallest.Encode());
+  PutLengthPrefixedSlice(dst, largest.Encode());
+  PutVarint32(dst, static_cast<uint32_t>(drange_id + 1));
+  PutVarint32(dst, generation);
+  PutVarint32(dst, static_cast<uint32_t>(fragments.size()));
+  for (const auto& replicas : fragments) {
+    PutVarint32(dst, static_cast<uint32_t>(replicas.size()));
+    for (const auto& loc : replicas) {
+      PutLocation(dst, loc);
+    }
+  }
+  PutVarint32(dst, static_cast<uint32_t>(fragment_sizes.size()));
+  for (uint64_t s : fragment_sizes) {
+    PutVarint64(dst, s);
+  }
+  PutVarint32(dst, static_cast<uint32_t>(meta_replicas.size()));
+  for (const auto& loc : meta_replicas) {
+    PutLocation(dst, loc);
+  }
+  PutLocation(dst, parity);
+}
+
+Status FileMetaData::DecodeFrom(Slice* input) {
+  Slice small, large;
+  uint32_t did, nfrags, nsizes, nmeta;
+  if (!GetVarint64(input, &number) || !GetVarint64(input, &data_size) ||
+      !GetLengthPrefixedSlice(input, &small) ||
+      !GetLengthPrefixedSlice(input, &large) || !GetVarint32(input, &did) ||
+      !GetVarint32(input, &generation) || !GetVarint32(input, &nfrags)) {
+    return Status::Corruption("bad file metadata");
+  }
+  smallest.DecodeFrom(small);
+  largest.DecodeFrom(large);
+  drange_id = static_cast<int32_t>(did) - 1;
+  fragments.clear();
+  for (uint32_t i = 0; i < nfrags; i++) {
+    uint32_t nreplicas;
+    if (!GetVarint32(input, &nreplicas)) {
+      return Status::Corruption("bad fragment replicas");
+    }
+    std::vector<BlockLocation> replicas(nreplicas);
+    for (uint32_t r = 0; r < nreplicas; r++) {
+      if (!GetLocation(input, &replicas[r])) {
+        return Status::Corruption("bad fragment location");
+      }
+    }
+    fragments.push_back(std::move(replicas));
+  }
+  if (!GetVarint32(input, &nsizes)) {
+    return Status::Corruption("bad fragment sizes");
+  }
+  fragment_sizes.assign(nsizes, 0);
+  for (uint32_t i = 0; i < nsizes; i++) {
+    if (!GetVarint64(input, &fragment_sizes[i])) {
+      return Status::Corruption("bad fragment size");
+    }
+  }
+  if (!GetVarint32(input, &nmeta)) {
+    return Status::Corruption("bad meta replicas");
+  }
+  meta_replicas.assign(nmeta, BlockLocation());
+  for (uint32_t i = 0; i < nmeta; i++) {
+    if (!GetLocation(input, &meta_replicas[i])) {
+      return Status::Corruption("bad meta location");
+    }
+  }
+  if (!GetLocation(input, &parity)) {
+    return Status::Corruption("bad parity location");
+  }
+  return Status::OK();
+}
+
+}  // namespace lsm
+}  // namespace nova

@@ -1,0 +1,342 @@
+#include "lsm/table_io.h"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "stoc/stoc_common.h"
+#include "util/logging.h"
+
+namespace nova {
+namespace lsm {
+
+Status StocBlockFetcher::ReadFragment(int fragment, uint64_t offset,
+                                      uint64_t size, std::string* out) {
+  Status last = Status::Unavailable("no replicas");
+  for (const BlockLocation& loc : meta_->fragments[fragment]) {
+    last = client_->ReadBlock(loc.stoc_id, loc.file_id, offset, size, out);
+    if (last.ok()) {
+      return last;
+    }
+  }
+  return last;
+}
+
+Status StocBlockFetcher::ReconstructFromParity(int fragment,
+                                               std::string* full_fragment) {
+  if (!meta_->parity.valid()) {
+    return Status::Unavailable("fragment lost and no parity block");
+  }
+  // Parity is the XOR of all fragments zero-padded to the longest one.
+  std::string parity;
+  Status s = client_->ReadBlock(meta_->parity.stoc_id, meta_->parity.file_id,
+                                0, 0, &parity);
+  if (!s.ok()) {
+    return s;
+  }
+  std::string acc = parity;
+  for (int f = 0; f < static_cast<int>(meta_->fragments.size()); f++) {
+    if (f == fragment) {
+      continue;
+    }
+    std::string other;
+    s = ReadFragment(f, 0, meta_->fragment_sizes[f], &other);
+    if (!s.ok()) {
+      return Status::Unavailable("second fragment loss; parity insufficient");
+    }
+    for (size_t i = 0; i < other.size() && i < acc.size(); i++) {
+      acc[i] ^= other[i];
+    }
+  }
+  acc.resize(meta_->fragment_sizes[fragment]);
+  *full_fragment = std::move(acc);
+  degraded_reads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status StocBlockFetcher::Fetch(int fragment, uint64_t offset, uint64_t size,
+                               std::string* out) {
+  if (fragment < 0 || fragment >= static_cast<int>(meta_->fragments.size())) {
+    return Status::InvalidArgument("no such fragment");
+  }
+  Status s = ReadFragment(fragment, offset, size, out);
+  if (s.ok()) {
+    return s;
+  }
+  // Degraded mode: rebuild the whole fragment, then slice.
+  std::string full;
+  Status rs = ReconstructFromParity(fragment, &full);
+  if (!rs.ok()) {
+    return rs;
+  }
+  if (offset + size > full.size()) {
+    return Status::InvalidArgument("read past reconstructed fragment");
+  }
+  out->assign(full.data() + offset, size);
+  return Status::OK();
+}
+
+Status TableCache::GetReader(const FileMetaRef& meta, Handle* handle) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = cache_.find(meta->number);
+    if (it != cache_.end()) {
+      handle->pin = it->second;
+      handle->reader = it->second->reader.get();
+      return Status::OK();
+    }
+  }
+  // Fetch the metadata block from any replica (power-of-d would also work;
+  // replicas are equivalent).
+  std::string encoded;
+  Status s = Status::Unavailable("no metadata replicas");
+  for (const BlockLocation& loc : meta->meta_replicas) {
+    s = client_->ReadBlock(loc.stoc_id, loc.file_id, 0, 0, &encoded);
+    if (s.ok()) {
+      break;
+    }
+  }
+  if (!s.ok()) {
+    return s;
+  }
+  SSTableMetadata table_meta;
+  s = table_meta.DecodeFrom(encoded);
+  if (!s.ok()) {
+    return s;
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->fetcher = std::make_unique<StocBlockFetcher>(client_, meta);
+  entry->reader =
+      std::make_unique<SSTableReader>(std::move(table_meta),
+                                      entry->fetcher.get());
+  std::lock_guard<std::mutex> l(mu_);
+  auto [it, inserted] = cache_.emplace(meta->number, std::move(entry));
+  handle->pin = it->second;
+  handle->reader = it->second->reader.get();
+  return Status::OK();
+}
+
+void TableCache::Evict(uint64_t number) {
+  std::lock_guard<std::mutex> l(mu_);
+  cache_.erase(number);
+}
+
+size_t TableCache::size() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return cache_.size();
+}
+
+SSTablePlacer::SSTablePlacer(stoc::StocClient* client,
+                             const PlacementOptions& options)
+    : client_(client), options_(options) {}
+
+void SSTablePlacer::UpdateStocs(const std::vector<rdma::NodeId>& stocs) {
+  std::lock_guard<std::mutex> l(mu_);
+  options_.stocs = stocs;
+}
+
+PlacementOptions SSTablePlacer::options() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return options_;
+}
+
+void SSTablePlacer::set_options(const PlacementOptions& options) {
+  std::lock_guard<std::mutex> l(mu_);
+  options_ = options;
+}
+
+std::vector<rdma::NodeId> SSTablePlacer::PickStocs(int count) {
+  PlacementOptions opt = options();
+  std::vector<rdma::NodeId> candidates = opt.stocs;
+  if (count >= static_cast<int>(candidates.size())) {
+    return candidates;
+  }
+  std::vector<rdma::NodeId> picked;
+  std::lock_guard<std::mutex> l(mu_);
+  if (!opt.power_of_d) {
+    // Random: choose `count` distinct StoCs.
+    for (int i = 0; i < count; i++) {
+      size_t j = i + rng_.Uniform(candidates.size() - i);
+      std::swap(candidates[i], candidates[j]);
+      picked.push_back(candidates[i]);
+    }
+    return picked;
+  }
+  // Power-of-d: peek at the disk queues of d = 2*count random StoCs and
+  // take the `count` shortest (paper Section 4.4).
+  int d = std::min<int>(2 * count, static_cast<int>(candidates.size()));
+  for (int i = 0; i < d; i++) {
+    size_t j = i + rng_.Uniform(candidates.size() - i);
+    std::swap(candidates[i], candidates[j]);
+  }
+  std::vector<std::pair<int, rdma::NodeId>> depths;
+  for (int i = 0; i < d; i++) {
+    stoc::StocStats stats;
+    int depth = 1 << 20;  // unreachable StoCs sort last
+    if (client_->GetStats(candidates[i], &stats).ok()) {
+      depth = stats.queue_depth;
+    }
+    depths.emplace_back(depth, candidates[i]);
+  }
+  std::sort(depths.begin(), depths.end());
+  for (int i = 0; i < count; i++) {
+    picked.push_back(depths[i].second);
+  }
+  return picked;
+}
+
+Status SSTablePlacer::Write(SSTableBuilder::Result&& built, int drange_id,
+                            uint32_t generation, FileMetaData* out) {
+  PlacementOptions opt = options();
+  if (opt.stocs.empty()) {
+    return Status::InvalidArgument("no stocs configured");
+  }
+
+  // Decide ρ for this SSTable from its size (Figure 9: a small SSTable is
+  // partitioned across fewer StoCs).
+  int rho = opt.rho;
+  if (opt.adjust_rho_by_size && opt.rho > 1) {
+    uint64_t frag_target =
+        std::max<uint64_t>(1, opt.max_sstable_size / opt.rho);
+    uint64_t by_size = (built.data.size() + frag_target - 1) / frag_target;
+    rho = static_cast<int>(
+        std::clamp<uint64_t>(by_size, 1, static_cast<uint64_t>(opt.rho)));
+  }
+  rho = std::min<int>(rho, static_cast<int>(opt.stocs.size()));
+
+  // Re-partition the built data into exactly the chosen fragment count.
+  // (Builder already split at block boundaries for the requested count.)
+  const SSTableMetadata& tmeta = built.meta;
+  int nfrags = tmeta.num_fragments();
+
+  out->number = tmeta.file_number;
+  out->data_size = built.data.size();
+  out->smallest = tmeta.smallest;
+  out->largest = tmeta.largest;
+  out->drange_id = drange_id;
+  out->generation = generation;
+  out->fragment_sizes = tmeta.fragment_sizes;
+  out->fragments.assign(nfrags, {});
+
+  int replicas = std::max(1, opt.num_data_replicas);
+  // One StoC per (fragment, replica), all distinct when possible.
+  std::vector<rdma::NodeId> targets = PickStocs(nfrags * replicas);
+  if (targets.empty()) {
+    return Status::Unavailable("no stocs reachable");
+  }
+
+  struct WriteTask {
+    int fragment;
+    int replica;
+    rdma::NodeId stoc;
+    uint64_t file_id;
+    Slice data;
+  };
+  std::vector<WriteTask> tasks;
+  uint64_t frag_offset = 0;
+  uint64_t max_frag = 0;
+  for (int f = 0; f < nfrags; f++) {
+    max_frag = std::max(max_frag, tmeta.fragment_sizes[f]);
+    for (int r = 0; r < replicas; r++) {
+      WriteTask t;
+      t.fragment = f;
+      t.replica = r;
+      t.stoc = targets[(f * replicas + r) % targets.size()];
+      t.file_id = stoc::MakeFileId(
+          opt.range_id, static_cast<uint32_t>(tmeta.file_number),
+          stoc::FileKind::kData, static_cast<uint8_t>(f * 8 + r));
+      t.data = Slice(built.data.data() + frag_offset,
+                     tmeta.fragment_sizes[f]);
+      tasks.push_back(t);
+    }
+    frag_offset += tmeta.fragment_sizes[f];
+  }
+
+  // Parallel fragment writes (the point of scattering: the SSTable write
+  // uses the disk bandwidth of ρ StoCs at once).
+  std::vector<Status> results(tasks.size());
+  std::vector<std::thread> writers;
+  writers.reserve(tasks.size());
+  out->fragments.assign(nfrags, std::vector<BlockLocation>(replicas));
+  for (size_t i = 0; i < tasks.size(); i++) {
+    writers.emplace_back([this, &tasks, &results, out, i] {
+      const WriteTask& t = tasks[i];
+      stoc::StocBlockHandle handle;
+      results[i] = client_->AppendBlock(t.stoc, t.file_id, t.data, &handle);
+      if (results[i].ok()) {
+        out->fragments[t.fragment][t.replica] =
+            BlockLocation{t.stoc, t.file_id};
+      }
+    });
+  }
+  for (auto& w : writers) {
+    w.join();
+  }
+  for (const Status& s : results) {
+    if (!s.ok()) {
+      return s;
+    }
+  }
+
+  // Parity block over the fragments (Hybrid availability): XOR of all
+  // fragments zero-padded to the longest.
+  if (opt.use_parity && nfrags >= 1) {
+    std::string parity(max_frag, '\0');
+    uint64_t off = 0;
+    for (int f = 0; f < nfrags; f++) {
+      for (uint64_t i = 0; i < tmeta.fragment_sizes[f]; i++) {
+        parity[i] ^= built.data[off + i];
+      }
+      off += tmeta.fragment_sizes[f];
+    }
+    // Prefer a StoC not already hosting a fragment.
+    std::set<rdma::NodeId> used;
+    for (const auto& t : tasks) {
+      used.insert(t.stoc);
+    }
+    rdma::NodeId parity_stoc = -1;
+    for (rdma::NodeId n : opt.stocs) {
+      if (!used.count(n)) {
+        parity_stoc = n;
+        break;
+      }
+    }
+    if (parity_stoc < 0) {
+      parity_stoc = opt.stocs[0];
+    }
+    uint64_t parity_id = stoc::MakeFileId(
+        opt.range_id, static_cast<uint32_t>(tmeta.file_number),
+        stoc::FileKind::kParity, 0);
+    stoc::StocBlockHandle handle;
+    Status s = client_->AppendBlock(parity_stoc, parity_id, parity, &handle);
+    if (!s.ok()) {
+      return s;
+    }
+    out->parity = BlockLocation{parity_stoc, parity_id};
+  }
+
+  // Metadata block replicas (index + bloom); small, so replication is
+  // cheap and lets reads use any replica (Section 3.1).
+  std::string meta_encoded;
+  tmeta.EncodeTo(&meta_encoded);
+  int meta_replicas =
+      std::min<int>(std::max(1, opt.num_meta_replicas),
+                    static_cast<int>(opt.stocs.size()));
+  std::vector<rdma::NodeId> meta_targets = PickStocs(meta_replicas);
+  for (int r = 0; r < static_cast<int>(meta_targets.size()); r++) {
+    uint64_t meta_id = stoc::MakeFileId(
+        opt.range_id, static_cast<uint32_t>(tmeta.file_number),
+        stoc::FileKind::kMeta, static_cast<uint8_t>(r));
+    stoc::StocBlockHandle handle;
+    Status s =
+        client_->AppendBlock(meta_targets[r], meta_id, meta_encoded, &handle);
+    if (!s.ok()) {
+      return s;
+    }
+    out->meta_replicas.push_back(BlockLocation{meta_targets[r], meta_id});
+  }
+  return Status::OK();
+}
+
+}  // namespace lsm
+}  // namespace nova

@@ -1,0 +1,127 @@
+// SSTable I/O over StoCs:
+//  * StocBlockFetcher — reads a fragment range, failing over across
+//    replicas and, when all replicas of a fragment are down, rebuilding
+//    the fragment from the other fragments + the parity block (the paper's
+//    Hybrid availability, Sections 3.1/4.4.1).
+//  * TableCache — LTC-side cache of SSTableMetadata (index + bloom) and
+//    open readers, keyed by file number (Section 4.1.1: "LTC caches them
+//    in its memory").
+//  * SSTablePlacer — decides ρ from the SSTable's size, picks StoCs by
+//    random or power-of-d on disk-queue length, writes the ρ fragments in
+//    parallel with R replicas each, an optional parity block, and
+//    replicated metadata blocks (Section 4.4, Figure 9/10).
+#ifndef NOVA_LSM_TABLE_IO_H_
+#define NOVA_LSM_TABLE_IO_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "lsm/file_meta.h"
+#include "sstable/sstable_builder.h"
+#include "sstable/sstable_reader.h"
+#include "stoc/stoc_client.h"
+#include "util/random.h"
+
+namespace nova {
+namespace lsm {
+
+class StocBlockFetcher : public BlockFetcher {
+ public:
+  StocBlockFetcher(stoc::StocClient* client, FileMetaRef meta)
+      : client_(client), meta_(std::move(meta)) {}
+
+  Status Fetch(int fragment, uint64_t offset, uint64_t size,
+               std::string* out) override;
+
+  /// Number of reads that had to be served by parity reconstruction.
+  uint64_t degraded_reads() const { return degraded_reads_; }
+
+ private:
+  Status ReadFragment(int fragment, uint64_t offset, uint64_t size,
+                      std::string* out);
+  Status ReconstructFromParity(int fragment, std::string* full_fragment);
+
+  stoc::StocClient* client_;
+  FileMetaRef meta_;
+  std::atomic<uint64_t> degraded_reads_{0};
+};
+
+class TableCache {
+ public:
+  explicit TableCache(stoc::StocClient* client) : client_(client) {}
+
+  /// A pinned reader: keeps the underlying reader (and its fetcher) alive
+  /// even if the entry is evicted concurrently (e.g., by a compaction
+  /// finishing while a scan is mid-flight).
+  struct Handle {
+    std::shared_ptr<void> pin;
+    SSTableReader* reader = nullptr;
+  };
+
+  /// Returns a cached (or freshly opened) pinned reader for the file.
+  Status GetReader(const FileMetaRef& meta, Handle* handle);
+
+  void Evict(uint64_t number);
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<StocBlockFetcher> fetcher;
+    std::unique_ptr<SSTableReader> reader;
+  };
+
+  stoc::StocClient* client_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<Entry>> cache_;
+};
+
+struct PlacementOptions {
+  /// Candidate StoCs; mutated by elasticity (add/remove StoC).
+  std::vector<rdma::NodeId> stocs;
+  /// Maximum scatter width ρ.
+  int rho = 1;
+  /// Use power-of-d (d = 2ρ) on disk queue length; otherwise random.
+  bool power_of_d = true;
+  /// Replication degree R for data fragments (1 = no replication).
+  int num_data_replicas = 1;
+  /// Metadata block replicas (Hybrid uses 3; small blocks).
+  int num_meta_replicas = 1;
+  /// Construct one parity block over the data fragments (Hybrid).
+  bool use_parity = false;
+  /// Shrink ρ for small SSTables (paper: a SSTable with few unique keys
+  /// after compaction is partitioned across fewer StoCs).
+  bool adjust_rho_by_size = true;
+  uint64_t max_sstable_size = 512 << 10;
+  uint32_t range_id = 0;
+};
+
+class SSTablePlacer {
+ public:
+  /// options are read under a lock on each write, so elasticity can mutate
+  /// them (via UpdateStocs) while the system runs.
+  SSTablePlacer(stoc::StocClient* client, const PlacementOptions& options);
+
+  Status Write(SSTableBuilder::Result&& built, int drange_id,
+               uint32_t generation, FileMetaData* out);
+
+  void UpdateStocs(const std::vector<rdma::NodeId>& stocs);
+  PlacementOptions options() const;
+  void set_options(const PlacementOptions& options);
+
+  /// Pick `count` distinct StoCs for writes of `bytes_each` using the
+  /// configured policy (exposed for tests and Table 5).
+  std::vector<rdma::NodeId> PickStocs(int count);
+
+ private:
+  stoc::StocClient* client_;
+  mutable std::mutex mu_;
+  PlacementOptions options_;
+  Random rng_{0x9d1ace};
+};
+
+}  // namespace lsm
+}  // namespace nova
+
+#endif  // NOVA_LSM_TABLE_IO_H_

@@ -1,0 +1,228 @@
+#include "lsm/version.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+
+namespace nova {
+namespace lsm {
+
+uint64_t Version::LevelBytes(int level) const {
+  uint64_t total = 0;
+  for (const auto& f : levels_[level]) {
+    total += f->data_size;
+  }
+  return total;
+}
+
+int Version::NumFiles() const {
+  int n = 0;
+  for (const auto& level : levels_) {
+    n += static_cast<int>(level.size());
+  }
+  return n;
+}
+
+std::vector<FileMetaRef> Version::OverlappingFiles(int level,
+                                                   const Slice& begin,
+                                                   const Slice& end) const {
+  std::vector<FileMetaRef> result;
+  for (const auto& f : levels_[level]) {
+    // Intersect [f.smallest, f.largest] with [begin, end] on user keys.
+    if (!end.empty() && f->smallest.user_key().compare(end) > 0) {
+      continue;
+    }
+    if (!begin.empty() && f->largest.user_key().compare(begin) < 0) {
+      continue;
+    }
+    result.push_back(f);
+  }
+  return result;
+}
+
+FileMetaRef Version::FileForKey(int level, const Slice& user_key) const {
+  const auto& files = levels_[level];
+  // Files at levels >= 1 are sorted by smallest key and disjoint.
+  int lo = 0;
+  int hi = static_cast<int>(files.size()) - 1;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    if (files[mid]->largest.user_key().compare(user_key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  if (lo < static_cast<int>(files.size()) &&
+      files[lo]->smallest.user_key().compare(user_key) <= 0) {
+    return files[lo];
+  }
+  return nullptr;
+}
+
+void VersionEdit::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, last_sequence);
+  PutVarint64(dst, next_file_number);
+  PutVarint32(dst, static_cast<uint32_t>(new_files.size()));
+  for (const auto& [level, meta] : new_files) {
+    PutVarint32(dst, level);
+    meta.EncodeTo(dst);
+  }
+  PutVarint32(dst, static_cast<uint32_t>(deleted_files.size()));
+  for (const auto& [level, number] : deleted_files) {
+    PutVarint32(dst, level);
+    PutVarint64(dst, number);
+  }
+  PutLengthPrefixedSlice(dst, drange_state);
+}
+
+Status VersionEdit::DecodeFrom(Slice input) {
+  uint32_t n_new, n_del;
+  if (!GetVarint64(&input, &last_sequence) ||
+      !GetVarint64(&input, &next_file_number) ||
+      !GetVarint32(&input, &n_new)) {
+    return Status::Corruption("bad version edit header");
+  }
+  new_files.clear();
+  for (uint32_t i = 0; i < n_new; i++) {
+    uint32_t level;
+    FileMetaData meta;
+    if (!GetVarint32(&input, &level)) {
+      return Status::Corruption("bad edit file level");
+    }
+    Status s = meta.DecodeFrom(&input);
+    if (!s.ok()) {
+      return s;
+    }
+    new_files.emplace_back(level, std::move(meta));
+  }
+  if (!GetVarint32(&input, &n_del)) {
+    return Status::Corruption("bad edit deletions");
+  }
+  deleted_files.clear();
+  for (uint32_t i = 0; i < n_del; i++) {
+    uint32_t level;
+    uint64_t number;
+    if (!GetVarint32(&input, &level) || !GetVarint64(&input, &number)) {
+      return Status::Corruption("bad edit deletion");
+    }
+    deleted_files.emplace_back(level, number);
+  }
+  Slice ds;
+  if (!GetLengthPrefixedSlice(&input, &ds)) {
+    return Status::Corruption("bad edit drange state");
+  }
+  drange_state = ds.ToString();
+  return Status::OK();
+}
+
+VersionSet::VersionSet(const LsmOptions& options,
+                       std::function<Status(const Slice&)> manifest_append)
+    : options_(options), manifest_append_(std::move(manifest_append)) {
+  current_ = std::make_shared<Version>(options_.num_levels);
+}
+
+VersionRef VersionSet::current() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return current_;
+}
+
+uint64_t VersionSet::ExpectedLevelBytes(int level) const {
+  if (level == 0) {
+    return options_.l0_compaction_trigger_bytes;
+  }
+  uint64_t size = options_.base_level_bytes;
+  for (int i = 1; i < level; i++) {
+    size *= 10;
+  }
+  return size;
+}
+
+VersionRef VersionSet::ApplyLocked(const VersionEdit& edit) {
+  auto next = std::make_shared<Version>(options_.num_levels);
+  // Start from current files minus deletions.
+  for (int level = 0; level < options_.num_levels; level++) {
+    for (const auto& f : current_->levels_[level]) {
+      bool deleted = false;
+      for (const auto& [dl, dn] : edit.deleted_files) {
+        if (dl == level && dn == f->number) {
+          deleted = true;
+          break;
+        }
+      }
+      if (!deleted) {
+        next->levels_[level].push_back(f);
+      }
+    }
+  }
+  for (const auto& [level, meta] : edit.new_files) {
+    next->levels_[level].push_back(std::make_shared<FileMetaData>(meta));
+  }
+  // Keep levels >= 1 sorted by smallest key; L0 sorted by file number
+  // (newest last) so newer tables shadow older ones deterministically.
+  InternalKeyComparator icmp;
+  std::sort(next->levels_[0].begin(), next->levels_[0].end(),
+            [](const FileMetaRef& a, const FileMetaRef& b) {
+              return a->number < b->number;
+            });
+  for (int level = 1; level < options_.num_levels; level++) {
+    std::sort(next->levels_[level].begin(), next->levels_[level].end(),
+              [&icmp](const FileMetaRef& a, const FileMetaRef& b) {
+                return icmp.Compare(a->smallest.Encode(),
+                                    b->smallest.Encode()) < 0;
+              });
+  }
+  return next;
+}
+
+Status VersionSet::LogAndApply(VersionEdit* edit) {
+  std::lock_guard<std::mutex> l(mu_);
+  edit->last_sequence = last_sequence_.load();
+  edit->next_file_number = next_file_number_.load();
+  if (!edit->drange_state.empty()) {
+    drange_state_ = edit->drange_state;
+  }
+  if (manifest_append_) {
+    std::string record;
+    edit->EncodeTo(&record);
+    Status s = manifest_append_(record);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  current_ = ApplyLocked(*edit);
+  manifest_version_.fetch_add(1);
+  return Status::OK();
+}
+
+Status VersionSet::Recover(const std::vector<std::string>& records) {
+  std::lock_guard<std::mutex> l(mu_);
+  current_ = std::make_shared<Version>(options_.num_levels);
+  for (const std::string& record : records) {
+    VersionEdit edit;
+    Status s = edit.DecodeFrom(record);
+    if (!s.ok()) {
+      return s;
+    }
+    current_ = ApplyLocked(edit);
+    if (edit.last_sequence > last_sequence_.load()) {
+      last_sequence_.store(edit.last_sequence);
+    }
+    if (edit.next_file_number > next_file_number_.load()) {
+      next_file_number_.store(edit.next_file_number);
+    }
+    if (!edit.drange_state.empty()) {
+      drange_state_ = edit.drange_state;
+    }
+    manifest_version_.fetch_add(1);
+  }
+  return Status::OK();
+}
+
+std::string VersionSet::drange_state() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return drange_state_;
+}
+
+}  // namespace lsm
+}  // namespace nova

@@ -1,0 +1,188 @@
+#include "ltc/ltc_server.h"
+
+#include <chrono>
+
+namespace nova {
+namespace ltc {
+
+LtcServer::LtcServer(rdma::RdmaFabric* fabric,
+                     const LtcServerOptions& options)
+    : fabric_(fabric), options_(options) {
+  throttle_ = std::make_unique<sim::CpuThrottle>(options_.cpu_rate_us_per_sec);
+  endpoint_ = std::make_unique<rdma::RpcEndpoint>(
+      fabric_, options_.node, options_.num_xchg_threads, throttle_.get());
+  endpoint_->set_request_handler(
+      [](rdma::NodeId, uint64_t, const Slice&) {});
+  stoc_client_ = std::make_unique<stoc::StocClient>(endpoint_.get());
+  flush_pool_ = std::make_unique<ThreadPool>("ltc-flush",
+                                             options_.num_flush_threads);
+  compaction_pool_ = std::make_unique<ThreadPool>(
+      "ltc-compaction", options_.num_compaction_threads);
+}
+
+LtcServer::~LtcServer() { Stop(); }
+
+void LtcServer::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  fabric_->AddNode(options_.node);
+  endpoint_->Start();
+  maintenance_thread_ = std::thread([this] { MaintenanceLoop(); });
+}
+
+void LtcServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  if (maintenance_thread_.joinable()) {
+    maintenance_thread_.join();
+  }
+  flush_pool_->Shutdown();
+  compaction_pool_->Shutdown();
+  endpoint_->Stop();
+}
+
+void LtcServer::MaintenanceLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      for (auto& [id, engine] : ranges_) {
+        engine->MaintenanceTick();
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.maintenance_interval_us));
+  }
+}
+
+RangeEngine* LtcServer::AddRange(const RangeEngineOptions& options,
+                                 const std::vector<rdma::NodeId>& stocs) {
+  RangeEngine* engine = AddRangeForRecovery(options, stocs);
+  engine->Bootstrap();
+  return engine;
+}
+
+RangeEngine* LtcServer::AddRangeForRecovery(
+    const RangeEngineOptions& options,
+    const std::vector<rdma::NodeId>& stocs) {
+  auto engine = std::make_unique<RangeEngine>(
+      options, stoc_client_.get(), stocs, throttle_.get(),
+      flush_pool_.get(), compaction_pool_.get());
+  RangeEngine* ptr = engine.get();
+  std::lock_guard<std::mutex> l(mu_);
+  ranges_[options.range_id] = std::move(engine);
+  return ptr;
+}
+
+RangeEngine* LtcServer::DetachRange(uint32_t range_id) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = ranges_.find(range_id);
+  if (it == ranges_.end()) {
+    return nullptr;
+  }
+  RangeEngine* engine = it->second.get();
+  retired_ranges_.push_back(std::move(it->second));
+  ranges_.erase(it);
+  return engine;
+}
+
+RangeEngine* LtcServer::GetRange(uint32_t range_id) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = ranges_.find(range_id);
+  return it == ranges_.end() ? nullptr : it->second.get();
+}
+
+std::vector<RangeEngine*> LtcServer::ranges() {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<RangeEngine*> out;
+  out.reserve(ranges_.size());
+  for (auto& [id, engine] : ranges_) {
+    out.push_back(engine.get());
+  }
+  return out;
+}
+
+RangeEngine* LtcServer::RouteKey(const Slice& key) {
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto& [id, engine] : ranges_) {
+    const RangeEngineOptions& opt = engine->options();
+    bool ge_lower = opt.lower.empty() || key.compare(opt.lower) >= 0;
+    bool lt_upper = opt.upper.empty() || key.compare(opt.upper) < 0;
+    if (ge_lower && lt_upper) {
+      return engine.get();
+    }
+  }
+  return nullptr;
+}
+
+Status LtcServer::Put(const Slice& key, const Slice& value) {
+  RangeEngine* engine = RouteKey(key);
+  if (engine == nullptr) {
+    return Status::InvalidArgument("no range for key at this LTC");
+  }
+  return engine->Put(key, value);
+}
+
+Status LtcServer::Get(const Slice& key, std::string* value) {
+  RangeEngine* engine = RouteKey(key);
+  if (engine == nullptr) {
+    return Status::InvalidArgument("no range for key at this LTC");
+  }
+  return engine->Get(key, value);
+}
+
+Status LtcServer::Delete(const Slice& key) {
+  RangeEngine* engine = RouteKey(key);
+  if (engine == nullptr) {
+    return Status::InvalidArgument("no range for key at this LTC");
+  }
+  return engine->Delete(key);
+}
+
+Status LtcServer::Scan(
+    const Slice& start_key, int num_records,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  RangeEngine* engine = RouteKey(start_key);
+  if (engine == nullptr) {
+    return Status::InvalidArgument("no range for key at this LTC");
+  }
+  Status s = engine->Scan(start_key, num_records, out);
+  // A scan spanning two application ranges continues in the next range
+  // (read committed across ranges, Section 8.1).
+  while (s.ok() && static_cast<int>(out->size()) < num_records) {
+    const std::string& upper = engine->options().upper;
+    if (upper.empty()) {
+      break;
+    }
+    engine = RouteKey(upper);
+    if (engine == nullptr) {
+      break;
+    }
+    // num_records is the *total* target: Scan appends until out holds it.
+    s = engine->Scan(upper, num_records, out);
+  }
+  return s;
+}
+
+RangeStats LtcServer::TotalStats() {
+  RangeStats total;
+  for (RangeEngine* engine : ranges()) {
+    RangeStats s = engine->stats();
+    total.puts += s.puts;
+    total.gets += s.gets;
+    total.scans += s.scans;
+    total.stall_us += s.stall_us;
+    total.stall_events += s.stall_events;
+    total.flushes += s.flushes;
+    total.memtable_merges += s.memtable_merges;
+    total.compactions += s.compactions;
+    total.bytes_flushed += s.bytes_flushed;
+    total.lookup_index_hits += s.lookup_index_hits;
+    total.lookup_index_misses += s.lookup_index_misses;
+  }
+  return total;
+}
+
+}  // namespace ltc
+}  // namespace nova

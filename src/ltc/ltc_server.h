@@ -1,0 +1,101 @@
+// LtcServer: one LSM-tree Component node hosting ω ranges (paper
+// Section 3). Client worker threads call Put/Get/Scan/Delete, which route
+// by key to the owning RangeEngine; a maintenance thread drives every
+// range's reorganizations, flush dispatch, and compaction scheduling; the
+// shared flush/compaction pools mirror the paper's dedicated thread
+// groups; the RPC endpoint's xchg threads carry all StoC traffic.
+#ifndef NOVA_LTC_LTC_SERVER_H_
+#define NOVA_LTC_LTC_SERVER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ltc/range_engine.h"
+#include "rdma/rpc.h"
+#include "stoc/stoc_client.h"
+
+namespace nova {
+namespace ltc {
+
+struct LtcServerOptions {
+  rdma::NodeId node = 0;
+  /// 0 = unlimited (unit tests); otherwise virtual CPU us/sec.
+  double cpu_rate_us_per_sec = 0;
+  int num_xchg_threads = 2;
+  int num_flush_threads = 4;
+  int num_compaction_threads = 4;
+  int maintenance_interval_us = 1000;
+};
+
+class LtcServer {
+ public:
+  LtcServer(rdma::RdmaFabric* fabric, const LtcServerOptions& options);
+  ~LtcServer();
+
+  LtcServer(const LtcServer&) = delete;
+  LtcServer& operator=(const LtcServer&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Create (and bootstrap) a range on this LTC. stocs is the set of
+  /// StoCs the range may use.
+  RangeEngine* AddRange(const RangeEngineOptions& options,
+                        const std::vector<rdma::NodeId>& stocs);
+  /// Create a range without bootstrapping (recovery / migration target).
+  RangeEngine* AddRangeForRecovery(const RangeEngineOptions& options,
+                                   const std::vector<rdma::NodeId>& stocs);
+  /// Detach a range (migration source): it stops receiving requests from
+  /// this server but stays alive (retired) so racing operations holding a
+  /// pointer cannot use freed memory. Returns the detached engine.
+  RangeEngine* DetachRange(uint32_t range_id);
+
+  RangeEngine* GetRange(uint32_t range_id);
+  std::vector<RangeEngine*> ranges();
+  /// The range whose [lower, upper) contains key; nullptr if none here.
+  RangeEngine* RouteKey(const Slice& key);
+
+  Status Put(const Slice& key, const Slice& value);
+  Status Get(const Slice& key, std::string* value);
+  Status Delete(const Slice& key);
+  Status Scan(const Slice& start_key, int num_records,
+              std::vector<std::pair<std::string, std::string>>* out);
+
+  rdma::NodeId node() const { return options_.node; }
+  sim::CpuThrottle* throttle() { return throttle_.get(); }
+  stoc::StocClient* stoc_client() { return stoc_client_.get(); }
+  rdma::RpcEndpoint* endpoint() { return endpoint_.get(); }
+  ThreadPool* flush_pool() { return flush_pool_.get(); }
+  ThreadPool* compaction_pool() { return compaction_pool_.get(); }
+
+  /// Aggregate stats over all ranges.
+  RangeStats TotalStats();
+
+ private:
+  void MaintenanceLoop();
+
+  rdma::RdmaFabric* fabric_;
+  LtcServerOptions options_;
+  std::unique_ptr<sim::CpuThrottle> throttle_;
+  std::unique_ptr<rdma::RpcEndpoint> endpoint_;
+  std::unique_ptr<stoc::StocClient> stoc_client_;
+  std::unique_ptr<ThreadPool> flush_pool_;
+  std::unique_ptr<ThreadPool> compaction_pool_;
+
+  std::mutex mu_;
+  std::map<uint32_t, std::unique_ptr<RangeEngine>> ranges_;
+  std::vector<std::unique_ptr<RangeEngine>> retired_ranges_;
+
+  std::atomic<bool> running_{false};
+  std::thread maintenance_thread_;
+};
+
+}  // namespace ltc
+}  // namespace nova
+
+#endif  // NOVA_LTC_LTC_SERVER_H_

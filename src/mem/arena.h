@@ -1,0 +1,42 @@
+// Arena: block-based bump allocator backing one memtable's skiplist nodes
+// and key/value copies. Freed wholesale when the memtable is dropped.
+#ifndef NOVA_MEM_ARENA_H_
+#define NOVA_MEM_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nova {
+
+class Arena {
+ public:
+  Arena();
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* Allocate(size_t bytes);
+  /// Aligned for pointer-sized access (skiplist nodes).
+  char* AllocateAligned(size_t bytes);
+
+  /// Total memory footprint of the arena (blocks + bookkeeping).
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<char*> blocks_;
+  std::atomic<size_t> memory_usage_;
+};
+
+}  // namespace nova
+
+#endif  // NOVA_MEM_ARENA_H_

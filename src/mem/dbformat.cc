@@ -1,0 +1,63 @@
+#include "mem/dbformat.h"
+
+#include <cstring>
+
+namespace nova {
+
+void AppendInternalKey(std::string* result, const ParsedInternalKey& key) {
+  result->append(key.user_key.data(), key.user_key.size());
+  PutFixed64(result, PackSequenceAndType(key.sequence, key.type));
+}
+
+bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* result) {
+  if (internal_key.size() < 8) {
+    return false;
+  }
+  uint64_t tag = DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+  uint8_t c = tag & 0xff;
+  result->sequence = tag >> 8;
+  result->type = static_cast<ValueType>(c);
+  result->user_key = Slice(internal_key.data(), internal_key.size() - 8);
+  return c <= static_cast<uint8_t>(kTypeValue);
+}
+
+int InternalKeyComparator::Compare(const Slice& akey, const Slice& bkey) const {
+  int r = ExtractUserKey(akey).compare(ExtractUserKey(bkey));
+  if (r == 0) {
+    const uint64_t anum = DecodeFixed64(akey.data() + akey.size() - 8);
+    const uint64_t bnum = DecodeFixed64(bkey.data() + bkey.size() - 8);
+    if (anum > bnum) {
+      r = -1;
+    } else if (anum < bnum) {
+      r = +1;
+    }
+  }
+  return r;
+}
+
+LookupKey::LookupKey(const Slice& user_key, SequenceNumber sequence) {
+  size_t usize = user_key.size();
+  size_t needed = usize + 13;  // conservative
+  char* dst;
+  if (needed <= sizeof(space_)) {
+    dst = space_;
+  } else {
+    dst = new char[needed];
+  }
+  start_ = dst;
+  dst = EncodeVarint32(dst, static_cast<uint32_t>(usize + 8));
+  kstart_ = dst;
+  memcpy(dst, user_key.data(), usize);
+  dst += usize;
+  EncodeFixed64(dst, PackSequenceAndType(sequence, kValueTypeForSeek));
+  dst += 8;
+  end_ = dst;
+}
+
+LookupKey::~LookupKey() {
+  if (start_ != space_) {
+    delete[] start_;
+  }
+}
+
+}  // namespace nova

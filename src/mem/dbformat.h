@@ -1,0 +1,115 @@
+// Internal key format shared by memtables, SSTables and compaction.
+//
+// An internal key is: user_key | 8-byte tag, where tag packs a 56-bit
+// monotonically increasing sequence number (the version of the key, paper
+// Section 2.1) with an 8-bit value type. Internal keys order by user key
+// ascending, then sequence number descending, so the newest version of a
+// key sorts first.
+#ifndef NOVA_MEM_DBFORMAT_H_
+#define NOVA_MEM_DBFORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/coding.h"
+#include "util/slice.h"
+
+namespace nova {
+
+typedef uint64_t SequenceNumber;
+
+static const SequenceNumber kMaxSequenceNumber = ((0x1ull << 56) - 1);
+
+enum ValueType : uint8_t {
+  kTypeDeletion = 0x0,
+  kTypeValue = 0x1,
+};
+// When seeking, we want all entries with sequence <= snapshot; kTypeValue
+// sorts before kTypeDeletion at equal (key, seq) in our descending order.
+static const ValueType kValueTypeForSeek = kTypeValue;
+
+inline uint64_t PackSequenceAndType(SequenceNumber seq, ValueType t) {
+  return (seq << 8) | t;
+}
+
+struct ParsedInternalKey {
+  Slice user_key;
+  SequenceNumber sequence = 0;
+  ValueType type = kTypeValue;
+
+  ParsedInternalKey() = default;
+  ParsedInternalKey(const Slice& u, SequenceNumber seq, ValueType t)
+      : user_key(u), sequence(seq), type(t) {}
+};
+
+void AppendInternalKey(std::string* result, const ParsedInternalKey& key);
+bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* result);
+
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+inline SequenceNumber ExtractSequence(const Slice& internal_key) {
+  uint64_t tag = DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+  return tag >> 8;
+}
+
+inline ValueType ExtractValueType(const Slice& internal_key) {
+  uint64_t tag = DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+  return static_cast<ValueType>(tag & 0xff);
+}
+
+/// Orders internal keys: user key ascending (bytewise), then sequence
+/// descending, then type descending.
+class InternalKeyComparator {
+ public:
+  InternalKeyComparator() = default;
+
+  int Compare(const Slice& a, const Slice& b) const;
+  int CompareUserKeys(const Slice& a, const Slice& b) const {
+    return a.compare(b);
+  }
+};
+
+/// Helper bundling the two encodings of a get's target key:
+/// memtable_key = varint32(len(ikey)) | ikey ;  internal_key = ikey.
+class LookupKey {
+ public:
+  LookupKey(const Slice& user_key, SequenceNumber sequence);
+  ~LookupKey();
+
+  LookupKey(const LookupKey&) = delete;
+  LookupKey& operator=(const LookupKey&) = delete;
+
+  Slice memtable_key() const { return Slice(start_, end_ - start_); }
+  Slice internal_key() const { return Slice(kstart_, end_ - kstart_); }
+  Slice user_key() const { return Slice(kstart_, end_ - kstart_ - 8); }
+
+ private:
+  const char* start_;
+  const char* kstart_;
+  const char* end_;
+  char space_[200];  // avoids allocation for short keys
+};
+
+/// An owned internal key (used in file metadata: smallest/largest).
+class InternalKey {
+ public:
+  InternalKey() = default;
+  InternalKey(const Slice& user_key, SequenceNumber s, ValueType t) {
+    AppendInternalKey(&rep_, ParsedInternalKey(user_key, s, t));
+  }
+
+  void DecodeFrom(const Slice& s) { rep_.assign(s.data(), s.size()); }
+  Slice Encode() const { return rep_; }
+  Slice user_key() const { return ExtractUserKey(rep_); }
+  bool empty() const { return rep_.empty(); }
+  void Clear() { rep_.clear(); }
+
+ private:
+  std::string rep_;
+};
+
+}  // namespace nova
+
+#endif  // NOVA_MEM_DBFORMAT_H_

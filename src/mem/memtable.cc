@@ -1,0 +1,174 @@
+#include "mem/memtable.h"
+
+#include <set>
+
+#include "util/coding.h"
+
+namespace nova {
+
+static Slice GetLengthPrefixedSliceAt(const char* data) {
+  uint32_t len;
+  const char* p = data;
+  p = GetVarint32Ptr(p, p + 5, &len);
+  return Slice(p, len);
+}
+
+int MemTable::KeyComparator::operator()(const char* aptr,
+                                        const char* bptr) const {
+  Slice a = GetLengthPrefixedSliceAt(aptr);
+  Slice b = GetLengthPrefixedSliceAt(bptr);
+  return comparator.Compare(a, b);
+}
+
+MemTable::MemTable(const InternalKeyComparator& comparator, uint64_t id)
+    : id_(id), comparator_{comparator}, table_(comparator_, &arena_),
+      num_entries_(0) {}
+
+void MemTable::MarkImmutable() {
+  std::lock_guard<std::mutex> l(write_mu_);
+  immutable_.store(true, std::memory_order_release);
+}
+
+bool MemTable::AddIfActive(SequenceNumber seq, ValueType type,
+                           const Slice& key, const Slice& value) {
+  std::lock_guard<std::mutex> l(write_mu_);
+  if (immutable_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  AddLocked(seq, type, key, value);
+  return true;
+}
+
+void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& key,
+                   const Slice& value) {
+  std::lock_guard<std::mutex> l(write_mu_);
+  AddLocked(seq, type, key, value);
+}
+
+void MemTable::AddLocked(SequenceNumber seq, ValueType type, const Slice& key,
+                         const Slice& value) {
+  // Entry format:
+  //   varint32 internal_key_size | user_key | 8-byte tag |
+  //   varint32 value_size       | value
+  size_t key_size = key.size();
+  size_t val_size = value.size();
+  size_t internal_key_size = key_size + 8;
+  const size_t encoded_len = VarintLength(internal_key_size) +
+                             internal_key_size + VarintLength(val_size) +
+                             val_size;
+  char* buf = arena_.Allocate(encoded_len);
+  char* p = EncodeVarint32(buf, static_cast<uint32_t>(internal_key_size));
+  memcpy(p, key.data(), key_size);
+  p += key_size;
+  EncodeFixed64(p, PackSequenceAndType(seq, type));
+  p += 8;
+  p = EncodeVarint32(p, static_cast<uint32_t>(val_size));
+  memcpy(p, value.data(), val_size);
+  assert(p + val_size == buf + encoded_len);
+  table_.Insert(buf);
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool MemTable::Get(const LookupKey& lookup_key, std::string* value, Status* s,
+                   SequenceNumber* seq) {
+  Slice memkey = lookup_key.memtable_key();
+  Table::Iterator iter(&table_);
+  iter.Seek(memkey.data());
+  if (iter.Valid()) {
+    // iter is positioned at the first entry with internal key >= the
+    // target (same user key, seq <= snapshot, or a later user key).
+    const char* entry = iter.key();
+    uint32_t key_length;
+    const char* key_ptr = GetVarint32Ptr(entry, entry + 5, &key_length);
+    if (comparator_.comparator.CompareUserKeys(
+            Slice(key_ptr, key_length - 8), lookup_key.user_key()) == 0) {
+      const uint64_t tag = DecodeFixed64(key_ptr + key_length - 8);
+      if (seq != nullptr) {
+        *seq = tag >> 8;
+      }
+      switch (static_cast<ValueType>(tag & 0xff)) {
+        case kTypeValue: {
+          Slice v = GetLengthPrefixedSliceAt(key_ptr + key_length);
+          value->assign(v.data(), v.size());
+          *s = Status::OK();
+          return true;
+        }
+        case kTypeDeletion:
+          *s = Status::NotFound(Slice());
+          return true;
+      }
+    }
+  }
+  return false;
+}
+
+uint64_t MemTable::CountUniqueKeys() const {
+  Table::Iterator iter(&table_);
+  iter.SeekToFirst();
+  uint64_t unique = 0;
+  std::string prev;
+  bool has_prev = false;
+  while (iter.Valid()) {
+    Slice ikey = GetLengthPrefixedSliceAt(iter.key());
+    Slice user_key = ExtractUserKey(ikey);
+    if (!has_prev || Slice(prev) != user_key) {
+      unique++;
+      prev.assign(user_key.data(), user_key.size());
+      has_prev = true;
+    }
+    iter.Next();
+  }
+  return unique;
+}
+
+std::string MemTable::SmallestUserKey() const {
+  Table::Iterator iter(&table_);
+  iter.SeekToFirst();
+  if (!iter.Valid()) {
+    return "";
+  }
+  Slice ikey = GetLengthPrefixedSliceAt(iter.key());
+  return ExtractUserKey(ikey).ToString();
+}
+
+std::string MemTable::LargestUserKey() const {
+  Table::Iterator iter(&table_);
+  iter.SeekToLast();
+  if (!iter.Valid()) {
+    return "";
+  }
+  Slice ikey = GetLengthPrefixedSliceAt(iter.key());
+  return ExtractUserKey(ikey).ToString();
+}
+
+class MemTableIterator : public Iterator {
+ public:
+  explicit MemTableIterator(MemTable::Table* table) : iter_(table) {}
+
+  bool Valid() const override { return iter_.Valid(); }
+  void Seek(const Slice& k) override {
+    // Build a temporary memtable key for the seek target.
+    scratch_.clear();
+    PutVarint32(&scratch_, static_cast<uint32_t>(k.size()));
+    scratch_.append(k.data(), k.size());
+    iter_.Seek(scratch_.data());
+  }
+  void SeekToFirst() override { iter_.SeekToFirst(); }
+  void SeekToLast() override { iter_.SeekToLast(); }
+  void Next() override { iter_.Next(); }
+  void Prev() override { iter_.Prev(); }
+  Slice key() const override { return GetLengthPrefixedSliceAt(iter_.key()); }
+  Slice value() const override {
+    Slice key_slice = GetLengthPrefixedSliceAt(iter_.key());
+    return GetLengthPrefixedSliceAt(key_slice.data() + key_slice.size());
+  }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  MemTable::Table::Iterator iter_;
+  std::string scratch_;
+};
+
+Iterator* MemTable::NewIterator() { return new MemTableIterator(&table_); }
+
+}  // namespace nova

@@ -1,0 +1,169 @@
+#include "rdma/fabric.h"
+
+#include <cstring>
+
+namespace nova {
+namespace rdma {
+
+void RdmaFabric::AddNode(NodeId node) {
+  std::lock_guard<std::mutex> l(mu_);
+  Node& n = nodes_[node];
+  n.alive = true;
+  n.regions.clear();
+  n.inbound.clear();
+}
+
+void RdmaFabric::RemoveNode(NodeId node) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    return;
+  }
+  it->second.alive = false;
+  it->second.regions.clear();
+  it->second.inbound.clear();
+}
+
+bool RdmaFabric::IsAlive(NodeId node) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = nodes_.find(node);
+  return it != nodes_.end() && it->second.alive;
+}
+
+Status RdmaFabric::RegisterMemory(NodeId node, uint32_t mr_id, char* addr,
+                                  size_t size) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end() || !it->second.alive) {
+    return Status::Unavailable("node not on fabric");
+  }
+  it->second.regions[mr_id] = MemoryRegion{addr, size};
+  return Status::OK();
+}
+
+Status RdmaFabric::DeregisterMemory(NodeId node, uint32_t mr_id) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    return Status::NotFound("node not on fabric");
+  }
+  it->second.regions.erase(mr_id);
+  return Status::OK();
+}
+
+Status RdmaFabric::ResolveLocked(const RemoteAddr& remote, size_t len,
+                                 char** out) {
+  auto it = nodes_.find(remote.node);
+  if (it == nodes_.end() || !it->second.alive) {
+    return Status::Unavailable("remote node unavailable");
+  }
+  auto mr_it = it->second.regions.find(remote.mr_id);
+  if (mr_it == it->second.regions.end()) {
+    return Status::InvalidArgument("unknown memory region");
+  }
+  const MemoryRegion& mr = mr_it->second;
+  if (remote.offset + len > mr.size) {
+    return Status::InvalidArgument("rdma access out of region bounds");
+  }
+  *out = mr.addr + remote.offset;
+  return Status::OK();
+}
+
+Status RdmaFabric::Read(NodeId src, const RemoteAddr& remote, char* local,
+                        size_t len) {
+  char* target;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto self = nodes_.find(src);
+    if (self == nodes_.end() || !self->second.alive) {
+      return Status::Unavailable("initiator not on fabric");
+    }
+    Status s = ResolveLocked(remote, len, &target);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  // Like real RDMA, the copy happens without target-side synchronization;
+  // protocols must not read regions being concurrently rewritten.
+  memcpy(local, target, len);
+  stats_.num_reads.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_read.fetch_add(len, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status RdmaFabric::Write(NodeId src, const Slice& data,
+                         const RemoteAddr& remote, bool notify, uint32_t imm) {
+  char* target;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto self = nodes_.find(src);
+    if (self == nodes_.end() || !self->second.alive) {
+      return Status::Unavailable("initiator not on fabric");
+    }
+    Status s = ResolveLocked(remote, data.size(), &target);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  memcpy(target, data.data(), data.size());
+  stats_.num_writes.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
+  if (notify) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = nodes_.find(remote.node);
+    if (it == nodes_.end() || !it->second.alive) {
+      return Status::Unavailable("remote node unavailable");
+    }
+    InboundMessage m;
+    m.kind = InboundMessage::Kind::kWriteImm;
+    m.src = src;
+    m.imm = imm;
+    it->second.inbound.push_back(std::move(m));
+  }
+  return Status::OK();
+}
+
+Status RdmaFabric::Send(NodeId src, NodeId dst, const Slice& msg,
+                        uint32_t imm) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto self = nodes_.find(src);
+  if (self == nodes_.end() || !self->second.alive) {
+    return Status::Unavailable("initiator not on fabric");
+  }
+  auto it = nodes_.find(dst);
+  if (it == nodes_.end() || !it->second.alive) {
+    return Status::Unavailable("remote node unavailable");
+  }
+  InboundMessage m;
+  m.kind = InboundMessage::Kind::kSend;
+  m.src = src;
+  m.imm = imm;
+  m.payload = msg.ToString();
+  it->second.inbound.push_back(std::move(m));
+  stats_.num_sends.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_sent.fetch_add(msg.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+bool RdmaFabric::PollInbound(NodeId node, InboundMessage* msg) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end() || !it->second.alive || it->second.inbound.empty()) {
+    return false;
+  }
+  *msg = std::move(it->second.inbound.front());
+  it->second.inbound.pop_front();
+  return true;
+}
+
+size_t RdmaFabric::InboundDepth(NodeId node) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    return 0;
+  }
+  return it->second.inbound.size();
+}
+
+}  // namespace rdma
+}  // namespace nova

@@ -1,0 +1,209 @@
+#include "rdma/rpc.h"
+
+#include <chrono>
+
+#include "sim/cost_model.h"
+#include "util/coding.h"
+#include "util/logging.h"
+
+namespace nova {
+namespace rdma {
+namespace {
+
+// Wire framing: u8 kind | u64 id | payload.
+enum MsgKind : uint8_t {
+  kRequest = 0,
+  kResponse = 1,
+  kTokenComplete = 2,
+  kOneWay = 3,
+};
+
+std::string Frame(MsgKind kind, uint64_t id, const Slice& payload) {
+  std::string out;
+  out.reserve(9 + payload.size());
+  out.push_back(static_cast<char>(kind));
+  PutFixed64(&out, id);
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+}  // namespace
+
+RpcEndpoint::RpcEndpoint(RdmaFabric* fabric, NodeId node, int num_xchg_threads,
+                         sim::CpuThrottle* throttle)
+    : fabric_(fabric),
+      node_(node),
+      num_xchg_threads_(num_xchg_threads),
+      throttle_(throttle == nullptr ? sim::CpuThrottle::Unlimited()
+                                    : throttle) {}
+
+RpcEndpoint::~RpcEndpoint() { Stop(); }
+
+void RpcEndpoint::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  for (int i = 0; i < num_xchg_threads_; i++) {
+    xchg_threads_.emplace_back([this, i] { XchgLoop(i); });
+  }
+}
+
+void RpcEndpoint::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  for (auto& t : xchg_threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  xchg_threads_.clear();
+  // Fail anything still waiting.
+  std::lock_guard<std::mutex> l(waiters_mu_);
+  for (auto& [id, w] : waiters_) {
+    w.done = true;
+    w.failed = true;
+  }
+  waiters_cv_.notify_all();
+}
+
+void RpcEndpoint::XchgLoop(int thread_index) {
+  (void)thread_index;
+  const sim::CostModel& costs = sim::DefaultCostModel();
+  // Exponential back-off when idle (paper Section 3.2): poll aggressively
+  // under load, sleep up to ~1 ms when there is no work.
+  int idle_us = 1;
+  int empty_polls = 0;
+  while (running_.load(std::memory_order_relaxed)) {
+    InboundMessage msg;
+    if (fabric_->PollInbound(node_, &msg)) {
+      idle_us = 1;
+      throttle_->Charge(costs.xchg_poll_us + costs.rdma_message_us);
+      Dispatch(msg);
+    } else {
+      // Batch the poll charge so an idle node doesn't hammer the throttle
+      // mutex; 64 empty polls ≈ one charged slice.
+      if (++empty_polls >= 64) {
+        throttle_->Charge(costs.xchg_poll_us * empty_polls);
+        empty_polls = 0;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(idle_us));
+      idle_us = std::min(idle_us * 2, 1000);
+    }
+  }
+}
+
+void RpcEndpoint::Dispatch(const InboundMessage& msg) {
+  if (msg.kind == InboundMessage::Kind::kWriteImm) {
+    if (write_imm_handler_) {
+      write_imm_handler_(msg.src, msg.imm);
+    }
+    return;
+  }
+  const std::string& m = msg.payload;
+  if (m.size() < 9) {
+    NOVA_WARN("malformed rpc frame from node %d", msg.src);
+    return;
+  }
+  MsgKind kind = static_cast<MsgKind>(m[0]);
+  uint64_t id = DecodeFixed64(m.data() + 1);
+  Slice payload(m.data() + 9, m.size() - 9);
+  switch (kind) {
+    case kRequest:
+      if (request_handler_) {
+        request_handler_(msg.src, id, payload);
+      }
+      break;
+    case kOneWay:
+      if (request_handler_) {
+        request_handler_(msg.src, 0, payload);
+      }
+      break;
+    case kResponse:
+    case kTokenComplete:
+      CompleteWaiter(id, payload, false);
+      break;
+  }
+}
+
+void RpcEndpoint::CompleteWaiter(uint64_t id, const Slice& payload,
+                                 bool failed) {
+  std::lock_guard<std::mutex> l(waiters_mu_);
+  auto it = waiters_.find(id);
+  if (it == waiters_.end()) {
+    return;  // late response after timeout; drop
+  }
+  it->second.done = true;
+  it->second.failed = failed;
+  it->second.payload = payload.ToString();
+  waiters_cv_.notify_all();
+}
+
+Status RpcEndpoint::Call(NodeId dst, const Slice& request,
+                         std::string* response, int timeout_ms) {
+  uint64_t id = next_id_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> l(waiters_mu_);
+    waiters_[id] = Waiter();
+  }
+  throttle_->Charge(sim::DefaultCostModel().rdma_message_us);
+  Status s = fabric_->Send(node_, dst, Frame(kRequest, id, request));
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> l(waiters_mu_);
+    waiters_.erase(id);
+    return s;
+  }
+  return WaitToken(id, response, timeout_ms);
+}
+
+Status RpcEndpoint::OneWay(NodeId dst, const Slice& request) {
+  throttle_->Charge(sim::DefaultCostModel().rdma_message_us);
+  return fabric_->Send(node_, dst, Frame(kOneWay, 0, request));
+}
+
+Status RpcEndpoint::Reply(NodeId dst, uint64_t req_id, const Slice& response) {
+  throttle_->Charge(sim::DefaultCostModel().rdma_message_us);
+  return fabric_->Send(node_, dst, Frame(kResponse, req_id, response));
+}
+
+uint64_t RpcEndpoint::AllocToken() {
+  uint64_t id = next_id_.fetch_add(1);
+  std::lock_guard<std::mutex> l(waiters_mu_);
+  waiters_[id] = Waiter();
+  return id;
+}
+
+Status RpcEndpoint::WaitToken(uint64_t token, std::string* payload,
+                              int timeout_ms) {
+  std::unique_lock<std::mutex> l(waiters_mu_);
+  bool ok = waiters_cv_.wait_for(
+      l, std::chrono::milliseconds(timeout_ms), [this, token] {
+        auto it = waiters_.find(token);
+        return it == waiters_.end() || it->second.done;
+      });
+  auto it = waiters_.find(token);
+  if (it == waiters_.end()) {
+    return Status::IOError("waiter vanished");
+  }
+  Waiter w = std::move(it->second);
+  waiters_.erase(it);
+  if (!ok) {
+    return Status::IOError("rpc timeout");
+  }
+  if (w.failed) {
+    return Status::Unavailable("endpoint stopped");
+  }
+  if (payload != nullptr) {
+    *payload = std::move(w.payload);
+  }
+  return Status::OK();
+}
+
+Status RpcEndpoint::CompleteToken(NodeId dst, uint64_t token,
+                                  const Slice& payload) {
+  throttle_->Charge(sim::DefaultCostModel().rdma_message_us);
+  return fabric_->Send(node_, dst, Frame(kTokenComplete, token, payload));
+}
+
+}  // namespace rdma
+}  // namespace nova

@@ -1,0 +1,115 @@
+// Request/response messaging over the RDMA fabric, mirroring the paper's
+// thread model (Section 3.2): each node runs a set of dedicated exchange
+// (xchg) threads that poll their queue pairs, back off exponentially when
+// idle, and delegate actual work to other threads.
+//
+// Three message kinds ride on RDMA SEND:
+//   * requests   — dispatched to the node's request handler (which may
+//                  reply inline or hand off to a worker pool and reply
+//                  later via Reply());
+//   * responses  — matched to a blocked Call() by request id;
+//   * token completions — complete a WaitToken() on the destination.
+// Tokens implement the paper's Figure-10 append protocol: the client
+// allocates a token, passes it in the open/alloc request, RDMA-WRITEs the
+// block with imm = region id, and the StoC completes the token once the
+// block is flushed — no extra client->server message.
+#ifndef NOVA_RDMA_RPC_H_
+#define NOVA_RDMA_RPC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rdma/fabric.h"
+#include "sim/cpu_throttle.h"
+
+namespace nova {
+namespace rdma {
+
+class RpcEndpoint {
+ public:
+  /// Handler for inbound requests. May call Reply() inline (cheap
+  /// operations) or enqueue work and Reply() from another thread.
+  using RequestHandler =
+      std::function<void(NodeId src, uint64_t req_id, const Slice& payload)>;
+  /// Handler invoked when a one-sided RDMA WRITE with immediate data lands
+  /// in this node's registered memory.
+  using WriteImmHandler = std::function<void(NodeId src, uint32_t imm)>;
+
+  RpcEndpoint(RdmaFabric* fabric, NodeId node, int num_xchg_threads,
+              sim::CpuThrottle* throttle);
+  ~RpcEndpoint();
+
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  void set_request_handler(RequestHandler handler) {
+    request_handler_ = std::move(handler);
+  }
+  void set_write_imm_handler(WriteImmHandler handler) {
+    write_imm_handler_ = std::move(handler);
+  }
+
+  /// Spawn the xchg threads. Handlers must be set before Start().
+  void Start();
+  /// Join the xchg threads and fail all pending calls.
+  void Stop();
+
+  /// Synchronous request/response. Fails with Unavailable if dst is dead,
+  /// IOError on timeout.
+  Status Call(NodeId dst, const Slice& request, std::string* response,
+              int timeout_ms = 30000);
+
+  /// Send a request without waiting for any response.
+  Status OneWay(NodeId dst, const Slice& request);
+
+  /// Server side: complete the Call identified by (src, req_id).
+  Status Reply(NodeId dst, uint64_t req_id, const Slice& response);
+
+  /// Token flow (see file comment). AllocToken registers a waiter slot.
+  uint64_t AllocToken();
+  Status WaitToken(uint64_t token, std::string* payload,
+                   int timeout_ms = 30000);
+  /// Server side: complete a token on node dst.
+  Status CompleteToken(NodeId dst, uint64_t token, const Slice& payload);
+
+  NodeId node() const { return node_; }
+  RdmaFabric* fabric() { return fabric_; }
+
+ private:
+  struct Waiter {
+    bool done = false;
+    bool failed = false;
+    std::string payload;
+  };
+
+  void XchgLoop(int thread_index);
+  void Dispatch(const InboundMessage& msg);
+  void CompleteWaiter(uint64_t id, const Slice& payload, bool failed);
+
+  RdmaFabric* fabric_;
+  NodeId node_;
+  int num_xchg_threads_;
+  sim::CpuThrottle* throttle_;
+  RequestHandler request_handler_;
+  WriteImmHandler write_imm_handler_;
+
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> xchg_threads_;
+
+  std::mutex waiters_mu_;
+  std::condition_variable waiters_cv_;
+  std::map<uint64_t, Waiter> waiters_;
+  std::atomic<uint64_t> next_id_{1};
+};
+
+}  // namespace rdma
+}  // namespace nova
+
+#endif  // NOVA_RDMA_RPC_H_

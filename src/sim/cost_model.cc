@@ -1,0 +1,12 @@
+#include "sim/cost_model.h"
+
+namespace nova {
+namespace sim {
+
+CostModel& DefaultCostModel() {
+  static CostModel model;
+  return model;
+}
+
+}  // namespace sim
+}  // namespace nova

@@ -1,0 +1,101 @@
+#include "sim/cpu_throttle.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace nova {
+namespace sim {
+
+CpuThrottle::CpuThrottle(double rate_us_per_sec, double burst_us)
+    : rate_(rate_us_per_sec), burst_(burst_us), tokens_(burst_us) {
+  last_refill_ = Clock::now();
+  start_ = last_refill_;
+  window_start_ = last_refill_;
+  if (rate_ <= 0) {
+    unlimited_ = true;
+  }
+}
+
+CpuThrottle* CpuThrottle::Unlimited() {
+  static CpuThrottle* t = new CpuThrottle(0);
+  return t;
+}
+
+void CpuThrottle::RefillLocked(Clock::time_point now) {
+  double elapsed_sec =
+      std::chrono::duration<double>(now - last_refill_).count();
+  tokens_ = std::min(burst_, tokens_ + elapsed_sec * rate_);
+  last_refill_ = now;
+}
+
+void CpuThrottle::Charge(double cost_us) {
+  if (unlimited_ || cost_us <= 0) {
+    return;
+  }
+  for (;;) {
+    std::chrono::duration<double> wait_sec(0);
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      auto now = Clock::now();
+      RefillLocked(now);
+      if (tokens_ >= cost_us) {
+        tokens_ -= cost_us;
+        consumed_total_ += cost_us;
+        window_consumed_ += cost_us;
+        return;
+      }
+      wait_sec = std::chrono::duration<double>((cost_us - tokens_) / rate_);
+    }
+    std::this_thread::sleep_for(wait_sec);
+  }
+}
+
+bool CpuThrottle::TryCharge(double cost_us) {
+  if (unlimited_ || cost_us <= 0) {
+    return true;
+  }
+  std::lock_guard<std::mutex> l(mu_);
+  RefillLocked(Clock::now());
+  if (tokens_ >= cost_us) {
+    tokens_ -= cost_us;
+    consumed_total_ += cost_us;
+    window_consumed_ += cost_us;
+    return true;
+  }
+  return false;
+}
+
+double CpuThrottle::Utilization() const {
+  if (unlimited_) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> l(mu_);
+  double elapsed_sec =
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  if (elapsed_sec <= 0) {
+    return 0;
+  }
+  return consumed_total_ / (elapsed_sec * rate_);
+}
+
+double CpuThrottle::WindowUtilization() const {
+  if (unlimited_) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> l(mu_);
+  double elapsed_sec =
+      std::chrono::duration<double>(Clock::now() - window_start_).count();
+  if (elapsed_sec <= 0) {
+    return 0;
+  }
+  return window_consumed_ / (elapsed_sec * rate_);
+}
+
+void CpuThrottle::ResetWindow() {
+  std::lock_guard<std::mutex> l(mu_);
+  window_consumed_ = 0;
+  window_start_ = Clock::now();
+}
+
+}  // namespace sim
+}  // namespace nova

@@ -1,0 +1,224 @@
+#include "sstable/block.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/coding.h"
+
+namespace nova {
+
+BlockBuilder::BlockBuilder() : counter_(0), finished_(false) {
+  restarts_.push_back(0);
+}
+
+void BlockBuilder::Reset() {
+  buffer_.clear();
+  restarts_.clear();
+  restarts_.push_back(0);
+  counter_ = 0;
+  finished_ = false;
+  last_key_.clear();
+}
+
+size_t BlockBuilder::CurrentSizeEstimate() const {
+  return buffer_.size() + restarts_.size() * sizeof(uint32_t) +
+         sizeof(uint32_t);
+}
+
+void BlockBuilder::Add(const Slice& key, const Slice& value) {
+  assert(!finished_);
+  size_t shared = 0;
+  if (counter_ < kBlockRestartInterval) {
+    // Count shared prefix with the previous key.
+    const size_t min_length = std::min(last_key_.size(), key.size());
+    while (shared < min_length && last_key_[shared] == key[shared]) {
+      shared++;
+    }
+  } else {
+    restarts_.push_back(static_cast<uint32_t>(buffer_.size()));
+    counter_ = 0;
+  }
+  const size_t non_shared = key.size() - shared;
+
+  PutVarint32(&buffer_, static_cast<uint32_t>(shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(non_shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(value.size()));
+  buffer_.append(key.data() + shared, non_shared);
+  buffer_.append(value.data(), value.size());
+
+  last_key_.resize(shared);
+  last_key_.append(key.data() + shared, non_shared);
+  counter_++;
+}
+
+Slice BlockBuilder::Finish() {
+  for (uint32_t restart : restarts_) {
+    PutFixed32(&buffer_, restart);
+  }
+  PutFixed32(&buffer_, static_cast<uint32_t>(restarts_.size()));
+  finished_ = true;
+  return Slice(buffer_);
+}
+
+Block::Block(std::string contents) : contents_(std::move(contents)) {
+  if (contents_.size() < sizeof(uint32_t)) {
+    num_restarts_ = 0;
+    restart_offset_ = 0;
+    return;
+  }
+  num_restarts_ = DecodeFixed32(contents_.data() + contents_.size() - 4);
+  restart_offset_ = static_cast<uint32_t>(contents_.size()) - 4 -
+                    num_restarts_ * sizeof(uint32_t);
+}
+
+class Block::Iter : public Iterator {
+ public:
+  Iter(const Block* block, const InternalKeyComparator* cmp)
+      : block_(block),
+        cmp_(cmp),
+        current_(block->restart_offset_),
+        restart_index_(block->num_restarts_) {}
+
+  bool Valid() const override { return current_ < block_->restart_offset_; }
+  Slice key() const override { return key_; }
+  Slice value() const override { return value_; }
+  Status status() const override { return status_; }
+
+  void Next() override {
+    assert(Valid());
+    ParseNextKey();
+  }
+
+  void Prev() override {
+    assert(Valid());
+    // Back up to the restart point before current_, then scan forward.
+    const uint32_t original = current_;
+    while (GetRestartPoint(restart_index_) >= original) {
+      if (restart_index_ == 0) {
+        current_ = block_->restart_offset_;
+        restart_index_ = block_->num_restarts_;
+        return;
+      }
+      restart_index_--;
+    }
+    SeekToRestartPoint(restart_index_);
+    do {
+    } while (ParseNextKey() && NextEntryOffset() < original);
+  }
+
+  void Seek(const Slice& target) override {
+    // Binary search over restart points for the last restart with a key
+    // < target, then linear scan.
+    uint32_t left = 0;
+    uint32_t right = block_->num_restarts_ - 1;
+    if (block_->num_restarts_ == 0) {
+      current_ = block_->restart_offset_;
+      return;
+    }
+    while (left < right) {
+      uint32_t mid = (left + right + 1) / 2;
+      SeekToRestartPoint(mid);
+      ParseNextKey();
+      if (cmp_->Compare(key_, target) < 0) {
+        left = mid;
+      } else {
+        right = mid - 1;
+      }
+    }
+    SeekToRestartPoint(left);
+    while (ParseNextKey()) {
+      if (cmp_->Compare(key_, target) >= 0) {
+        return;
+      }
+    }
+  }
+
+  void SeekToFirst() override {
+    SeekToRestartPoint(0);
+    ParseNextKey();
+  }
+
+  void SeekToLast() override {
+    if (block_->num_restarts_ == 0) {
+      return;
+    }
+    SeekToRestartPoint(block_->num_restarts_ - 1);
+    while (ParseNextKey() && NextEntryOffset() < block_->restart_offset_) {
+    }
+  }
+
+ private:
+  uint32_t NextEntryOffset() const {
+    return static_cast<uint32_t>((value_.data() + value_.size()) -
+                                 block_->contents_.data());
+  }
+
+  uint32_t GetRestartPoint(uint32_t index) const {
+    if (index >= block_->num_restarts_) {
+      return block_->restart_offset_;
+    }
+    return DecodeFixed32(block_->contents_.data() + block_->restart_offset_ +
+                         index * sizeof(uint32_t));
+  }
+
+  void SeekToRestartPoint(uint32_t index) {
+    key_.clear();
+    restart_index_ = index;
+    uint32_t offset = GetRestartPoint(index);
+    // value_ is positioned so NextEntryOffset() returns offset.
+    value_ = Slice(block_->contents_.data() + offset, 0);
+    current_ = offset;
+  }
+
+  bool ParseNextKey() {
+    current_ = NextEntryOffset();
+    if (current_ >= block_->restart_offset_) {
+      current_ = block_->restart_offset_;
+      restart_index_ = block_->num_restarts_;
+      return false;
+    }
+    const char* p = block_->contents_.data() + current_;
+    const char* limit = block_->contents_.data() + block_->restart_offset_;
+    uint32_t shared, non_shared, value_length;
+    p = GetVarint32Ptr(p, limit, &shared);
+    if (p == nullptr) {
+      status_ = Status::Corruption("bad block entry");
+      return false;
+    }
+    p = GetVarint32Ptr(p, limit, &non_shared);
+    if (p == nullptr) {
+      status_ = Status::Corruption("bad block entry");
+      return false;
+    }
+    p = GetVarint32Ptr(p, limit, &value_length);
+    if (p == nullptr || p + non_shared + value_length > limit) {
+      status_ = Status::Corruption("bad block entry");
+      return false;
+    }
+    key_.resize(shared);
+    key_.append(p, non_shared);
+    value_ = Slice(p + non_shared, value_length);
+    while (restart_index_ + 1 < block_->num_restarts_ &&
+           GetRestartPoint(restart_index_ + 1) < current_) {
+      restart_index_++;
+    }
+    return true;
+  }
+
+  const Block* block_;
+  const InternalKeyComparator* cmp_;
+  uint32_t current_;        // offset of current entry in contents
+  uint32_t restart_index_;  // restart block containing current_
+  std::string key_;
+  Slice value_;
+  Status status_;
+};
+
+Iterator* Block::NewIterator(const InternalKeyComparator* cmp) const {
+  if (num_restarts_ == 0) {
+    return NewEmptyIterator();
+  }
+  return new Iter(this, cmp);
+}
+
+}  // namespace nova

@@ -1,0 +1,61 @@
+// Data/index block format (LevelDB-compatible design): entries with shared
+// key-prefix compression and restart points every kBlockRestartInterval
+// keys, followed by the restart offset array and its count.
+#ifndef NOVA_SSTABLE_BLOCK_H_
+#define NOVA_SSTABLE_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/dbformat.h"
+#include "util/iterator.h"
+#include "util/slice.h"
+
+namespace nova {
+
+static const int kBlockRestartInterval = 16;
+
+class BlockBuilder {
+ public:
+  BlockBuilder();
+
+  /// Keys must be added in (internal-key) sorted order.
+  void Add(const Slice& key, const Slice& value);
+  /// Finish and return the serialized block contents (valid until Reset).
+  Slice Finish();
+  void Reset();
+
+  size_t CurrentSizeEstimate() const;
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_;
+  bool finished_;
+  std::string last_key_;
+};
+
+/// An immutable, owned block plus iterator support.
+class Block {
+ public:
+  /// Takes ownership of contents.
+  explicit Block(std::string contents);
+
+  size_t size() const { return contents_.size(); }
+
+  /// Iterates internal keys using cmp.
+  Iterator* NewIterator(const InternalKeyComparator* cmp) const;
+
+ private:
+  class Iter;
+
+  std::string contents_;
+  uint32_t restart_offset_;
+  uint32_t num_restarts_;
+};
+
+}  // namespace nova
+
+#endif  // NOVA_SSTABLE_BLOCK_H_

@@ -1,0 +1,84 @@
+#include "sstable/bloom.h"
+
+#include <cstdint>
+
+namespace nova {
+namespace {
+
+uint32_t BloomHash(const Slice& key) {
+  // Murmur-inspired hash (LevelDB's Hash function shape).
+  const uint32_t seed = 0xbc9f1d34;
+  const uint32_t m = 0xc6a4a793;
+  const char* data = key.data();
+  size_t n = key.size();
+  uint32_t h = seed ^ (static_cast<uint32_t>(n) * m);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint32_t w;
+    memcpy(&w, data + i, 4);
+    h += w;
+    h *= m;
+    h ^= (h >> 16);
+  }
+  for (; i < n; i++) {
+    h += static_cast<uint8_t>(data[i]) << ((i % 4) * 8);
+  }
+  h *= m;
+  h ^= (h >> 24);
+  return h;
+}
+
+}  // namespace
+
+std::string BloomFilter::Create(const std::vector<Slice>& keys,
+                                int bits_per_key) {
+  // k = bits_per_key * ln(2), clamped.
+  int k = static_cast<int>(bits_per_key * 0.69);
+  if (k < 1) k = 1;
+  if (k > 30) k = 30;
+
+  size_t bits = keys.size() * bits_per_key;
+  if (bits < 64) bits = 64;
+  size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string filter(bytes, '\0');
+  filter.push_back(static_cast<char>(k));  // remember k in the last byte
+  char* array = filter.data();
+  for (const Slice& key : keys) {
+    uint32_t h = BloomHash(key);
+    const uint32_t delta = (h >> 17) | (h << 15);  // rotate right 17 bits
+    for (int j = 0; j < k; j++) {
+      const uint32_t bitpos = h % bits;
+      array[bitpos / 8] |= (1 << (bitpos % 8));
+      h += delta;
+    }
+  }
+  return filter;
+}
+
+bool BloomFilter::KeyMayMatch(const Slice& key, const Slice& filter) {
+  const size_t len = filter.size();
+  if (len < 2) {
+    return false;
+  }
+  const char* array = filter.data();
+  const size_t bits = (len - 1) * 8;
+  const int k = array[len - 1];
+  if (k > 30) {
+    // Reserved for future encodings: be conservative.
+    return true;
+  }
+  uint32_t h = BloomHash(key);
+  const uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < k; j++) {
+    const uint32_t bitpos = h % bits;
+    if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) {
+      return false;
+    }
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace nova

@@ -1,0 +1,26 @@
+// Bloom filter over user keys, one filter per SSTable. The paper caches
+// every SSTable's bloom filter at the LTC so a get skips SSTables whose
+// filter rules the key out (Section 4.1.1).
+#ifndef NOVA_SSTABLE_BLOOM_H_
+#define NOVA_SSTABLE_BLOOM_H_
+
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace nova {
+
+class BloomFilter {
+ public:
+  /// Build a filter over keys with bits_per_key (10 ≈ 1% false positives).
+  static std::string Create(const std::vector<Slice>& keys, int bits_per_key);
+
+  /// May return true for keys not in the filter (false positives), never
+  /// false for keys that are.
+  static bool KeyMayMatch(const Slice& key, const Slice& filter);
+};
+
+}  // namespace nova
+
+#endif  // NOVA_SSTABLE_BLOOM_H_

@@ -1,0 +1,90 @@
+#include "sstable/format.h"
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace nova {
+
+void BlockHandle::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, offset);
+  PutVarint64(dst, size);
+}
+
+Status BlockHandle::DecodeFrom(Slice* input) {
+  if (GetVarint64(input, &offset) && GetVarint64(input, &size)) {
+    return Status::OK();
+  }
+  return Status::Corruption("bad block handle");
+}
+
+bool SSTableMetadata::Locate(uint64_t global_offset, int* fragment,
+                             uint64_t* local_offset) const {
+  uint64_t base = 0;
+  for (size_t i = 0; i < fragment_sizes.size(); i++) {
+    if (global_offset < base + fragment_sizes[i]) {
+      *fragment = static_cast<int>(i);
+      *local_offset = global_offset - base;
+      return true;
+    }
+    base += fragment_sizes[i];
+  }
+  return false;
+}
+
+void SSTableMetadata::EncodeTo(std::string* dst) const {
+  std::string body;
+  PutVarint64(&body, file_number);
+  PutVarint64(&body, data_size);
+  PutVarint32(&body, static_cast<uint32_t>(fragment_sizes.size()));
+  for (uint64_t s : fragment_sizes) {
+    PutVarint64(&body, s);
+  }
+  PutLengthPrefixedSlice(&body, index_contents);
+  PutLengthPrefixedSlice(&body, bloom);
+  PutLengthPrefixedSlice(&body, smallest.Encode());
+  PutLengthPrefixedSlice(&body, largest.Encode());
+  PutVarint64(&body, num_entries);
+  PutFixed32(&body, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  dst->append(body);
+}
+
+Status SSTableMetadata::DecodeFrom(Slice input) {
+  if (input.size() < 4) {
+    return Status::Corruption("sstable metadata too short");
+  }
+  Slice body(input.data(), input.size() - 4);
+  uint32_t expected =
+      crc32c::Unmask(DecodeFixed32(input.data() + input.size() - 4));
+  if (crc32c::Value(body.data(), body.size()) != expected) {
+    return Status::Corruption("sstable metadata checksum mismatch");
+  }
+  uint32_t nfrags;
+  Slice idx, blm, small, large;
+  if (!GetVarint64(&body, &file_number) || !GetVarint64(&body, &data_size) ||
+      !GetVarint32(&body, &nfrags)) {
+    return Status::Corruption("bad sstable metadata header");
+  }
+  fragment_sizes.clear();
+  fragment_sizes.reserve(nfrags);
+  for (uint32_t i = 0; i < nfrags; i++) {
+    uint64_t s;
+    if (!GetVarint64(&body, &s)) {
+      return Status::Corruption("bad fragment sizes");
+    }
+    fragment_sizes.push_back(s);
+  }
+  if (!GetLengthPrefixedSlice(&body, &idx) ||
+      !GetLengthPrefixedSlice(&body, &blm) ||
+      !GetLengthPrefixedSlice(&body, &small) ||
+      !GetLengthPrefixedSlice(&body, &large) ||
+      !GetVarint64(&body, &num_entries)) {
+    return Status::Corruption("bad sstable metadata body");
+  }
+  index_contents = idx.ToString();
+  bloom = blm.ToString();
+  smallest.DecodeFrom(small);
+  largest.DecodeFrom(large);
+  return Status::OK();
+}
+
+}  // namespace nova

@@ -1,0 +1,69 @@
+// On-"disk" SSTable layout. A Nova-LSM SSTable is not one file: its data
+// blocks are partitioned into ρ fragments, each stored as a StoC file on a
+// (usually) different StoC, and a small metadata block (index + bloom +
+// fragment map) that is replicated (paper Sections 4.4, 3.1).
+//
+//   fragment 0: [data block][data block]...
+//   fragment 1: [data block]...
+//   ...
+//   metadata  : fragment sizes | index block | bloom | smallest/largest |
+//               num_entries | crc32c
+//
+// The index block maps last-key-in-block -> BlockHandle(global offset,
+// size); SSTableMetadata::Locate translates a global offset into
+// (fragment, local offset), which is this repo's equivalent of the paper's
+// "convert index block to StoC block handles".
+#ifndef NOVA_SSTABLE_FORMAT_H_
+#define NOVA_SSTABLE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/dbformat.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace nova {
+
+struct BlockHandle {
+  uint64_t offset = 0;  // global offset within the SSTable's data stream
+  uint64_t size = 0;
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice* input);
+};
+
+struct SSTableMetadata {
+  uint64_t file_number = 0;
+  uint64_t data_size = 0;
+  std::vector<uint64_t> fragment_sizes;
+  std::string index_contents;
+  std::string bloom;
+  InternalKey smallest;
+  InternalKey largest;
+  uint64_t num_entries = 0;
+
+  int num_fragments() const { return static_cast<int>(fragment_sizes.size()); }
+
+  /// Translate a global data offset to a fragment and offset within it.
+  /// Returns false if the offset is out of range.
+  bool Locate(uint64_t global_offset, int* fragment,
+              uint64_t* local_offset) const;
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice input);
+};
+
+/// Pulls a byte range of one fragment; implemented over the StoC client by
+/// the LTC and over a local device by the monolithic baseline.
+class BlockFetcher {
+ public:
+  virtual ~BlockFetcher() = default;
+  virtual Status Fetch(int fragment, uint64_t offset, uint64_t size,
+                       std::string* out) = 0;
+};
+
+}  // namespace nova
+
+#endif  // NOVA_SSTABLE_FORMAT_H_

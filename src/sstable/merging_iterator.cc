@@ -1,0 +1,145 @@
+#include "sstable/merging_iterator.h"
+
+#include <memory>
+
+namespace nova {
+namespace {
+
+class MergingIterator : public Iterator {
+ public:
+  MergingIterator(const InternalKeyComparator* comparator,
+                  std::vector<Iterator*> children)
+      : comparator_(comparator), current_(nullptr), direction_(kForward) {
+    children_.reserve(children.size());
+    for (Iterator* child : children) {
+      children_.emplace_back(child);
+    }
+  }
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) {
+      child->SeekToFirst();
+    }
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void SeekToLast() override {
+    for (auto& child : children_) {
+      child->SeekToLast();
+    }
+    FindLargest();
+    direction_ = kReverse;
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) {
+      child->Seek(target);
+    }
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void Next() override {
+    // If we were going backward, reposition all non-current children to
+    // the first entry after key() (LevelDB's direction-switch dance).
+    if (direction_ != kForward) {
+      std::string saved_key = key().ToString();
+      for (auto& child : children_) {
+        if (child.get() != current_) {
+          child->Seek(saved_key);
+          if (child->Valid() &&
+              comparator_->Compare(saved_key, child->key()) == 0) {
+            child->Next();
+          }
+        }
+      }
+      direction_ = kForward;
+    }
+    current_->Next();
+    FindSmallest();
+  }
+
+  void Prev() override {
+    if (direction_ != kReverse) {
+      std::string saved_key = key().ToString();
+      for (auto& child : children_) {
+        if (child.get() != current_) {
+          child->Seek(saved_key);
+          if (child->Valid()) {
+            child->Prev();
+          } else {
+            child->SeekToLast();
+          }
+        }
+      }
+      direction_ = kReverse;
+    }
+    current_->Prev();
+    FindLargest();
+  }
+
+  Slice key() const override { return current_->key(); }
+  Slice value() const override { return current_->value(); }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  enum Direction { kForward, kReverse };
+
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    for (auto& child : children_) {
+      if (child->Valid()) {
+        if (smallest == nullptr ||
+            comparator_->Compare(child->key(), smallest->key()) < 0) {
+          smallest = child.get();
+        }
+      }
+    }
+    current_ = smallest;
+  }
+
+  void FindLargest() {
+    Iterator* largest = nullptr;
+    for (auto& child : children_) {
+      if (child->Valid()) {
+        if (largest == nullptr ||
+            comparator_->Compare(child->key(), largest->key()) > 0) {
+          largest = child.get();
+        }
+      }
+    }
+    current_ = largest;
+  }
+
+  const InternalKeyComparator* comparator_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_;
+  Direction direction_;
+};
+
+}  // namespace
+
+Iterator* NewMergingIterator(const InternalKeyComparator* comparator,
+                             std::vector<Iterator*> children) {
+  if (children.empty()) {
+    return NewEmptyIterator();
+  }
+  if (children.size() == 1) {
+    return children[0];
+  }
+  return new MergingIterator(comparator, std::move(children));
+}
+
+}  // namespace nova

@@ -1,0 +1,20 @@
+// K-way merging iterator over child iterators, used by compaction (merge
+// inputs), scans (memtables + L0 SSTables + higher levels), and recovery.
+#ifndef NOVA_SSTABLE_MERGING_ITERATOR_H_
+#define NOVA_SSTABLE_MERGING_ITERATOR_H_
+
+#include <vector>
+
+#include "mem/dbformat.h"
+#include "util/iterator.h"
+
+namespace nova {
+
+/// Returns an iterator yielding the union of the children in internal-key
+/// order. Takes ownership of the children.
+Iterator* NewMergingIterator(const InternalKeyComparator* comparator,
+                             std::vector<Iterator*> children);
+
+}  // namespace nova
+
+#endif  // NOVA_SSTABLE_MERGING_ITERATOR_H_

@@ -1,0 +1,62 @@
+// Builds one SSTable from internal keys added in sorted order: data blocks
+// (flushed at ~block_size), an index block, a bloom filter over user keys,
+// and the fragment partition map for scattering across ρ StoCs.
+#ifndef NOVA_SSTABLE_SSTABLE_BUILDER_H_
+#define NOVA_SSTABLE_SSTABLE_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/dbformat.h"
+#include "sstable/block.h"
+#include "sstable/format.h"
+
+namespace nova {
+
+struct SSTableBuilderOptions {
+  size_t block_size = 4096;
+  int bloom_bits_per_key = 10;
+};
+
+class SSTableBuilder {
+ public:
+  explicit SSTableBuilder(const SSTableBuilderOptions& options = {});
+
+  /// Keys must arrive in strictly increasing internal-key order.
+  void Add(const Slice& internal_key, const Slice& value);
+
+  uint64_t num_entries() const { return num_entries_; }
+  /// Data bytes accumulated so far (pre-index/bloom); used to honor the
+  /// max SSTable size during compaction.
+  uint64_t EstimatedSize() const;
+  bool empty() const { return num_entries_ == 0; }
+
+  struct Result {
+    std::string data;       // all data blocks, concatenated
+    SSTableMetadata meta;   // fragment_sizes populated per num_fragments
+  };
+
+  /// Finalize. num_fragments is clamped to [1, #data blocks]; fragments
+  /// split only at block boundaries so one block never spans two StoCs.
+  Result Finish(uint64_t file_number, int num_fragments);
+
+ private:
+  void FlushBlock();
+
+  SSTableBuilderOptions options_;
+  InternalKeyComparator icmp_;
+  BlockBuilder data_block_;
+  std::string data_;
+  std::vector<uint64_t> block_offsets_;  // start offset of each data block
+  std::vector<std::string> index_keys_;  // last key per flushed block
+  std::vector<BlockHandle> index_handles_;
+  std::vector<std::string> user_keys_;   // distinct user keys for the bloom
+  std::string last_key_;
+  std::string first_key_;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace nova
+
+#endif  // NOVA_SSTABLE_SSTABLE_BUILDER_H_

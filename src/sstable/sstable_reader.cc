@@ -1,0 +1,221 @@
+#include "sstable/sstable_reader.h"
+
+#include "sstable/bloom.h"
+
+namespace nova {
+
+SSTableReader::SSTableReader(SSTableMetadata meta, BlockFetcher* fetcher)
+    : meta_(std::move(meta)), fetcher_(fetcher) {
+  index_block_ = std::make_unique<Block>(meta_.index_contents);
+}
+
+bool SSTableReader::KeyMayMatch(const Slice& user_key) const {
+  if (meta_.bloom.empty()) {
+    return true;
+  }
+  return BloomFilter::KeyMayMatch(user_key, meta_.bloom);
+}
+
+Status SSTableReader::ReadBlock(const BlockHandle& handle,
+                                std::unique_ptr<Block>* block) const {
+  int fragment;
+  uint64_t local_offset;
+  if (!meta_.Locate(handle.offset, &fragment, &local_offset)) {
+    return Status::Corruption("block offset outside fragment map");
+  }
+  std::string contents;
+  Status s = fetcher_->Fetch(fragment, local_offset, handle.size, &contents);
+  if (!s.ok()) {
+    return s;
+  }
+  if (contents.size() != handle.size) {
+    return Status::Corruption("short block read");
+  }
+  *block = std::make_unique<Block>(std::move(contents));
+  return Status::OK();
+}
+
+bool SSTableReader::Get(const LookupKey& lookup_key, std::string* value,
+                        Status* s, SequenceNumber* seq) {
+  if (!KeyMayMatch(lookup_key.user_key())) {
+    return false;
+  }
+  std::unique_ptr<Iterator> index_iter(index_block_->NewIterator(&icmp_));
+  index_iter->Seek(lookup_key.internal_key());
+  if (!index_iter->Valid()) {
+    return false;
+  }
+  BlockHandle handle;
+  Slice handle_contents = index_iter->value();
+  Status hs = handle.DecodeFrom(&handle_contents);
+  if (!hs.ok()) {
+    *s = hs;
+    return true;  // surfaced as an error, not silently missing
+  }
+  std::unique_ptr<Block> block;
+  Status bs = ReadBlock(handle, &block);
+  if (!bs.ok()) {
+    *s = bs;
+    return true;
+  }
+  std::unique_ptr<Iterator> block_iter(block->NewIterator(&icmp_));
+  block_iter->Seek(lookup_key.internal_key());
+  if (!block_iter->Valid()) {
+    return false;
+  }
+  ParsedInternalKey parsed;
+  if (!ParseInternalKey(block_iter->key(), &parsed)) {
+    *s = Status::Corruption("bad internal key in sstable");
+    return true;
+  }
+  if (parsed.user_key != lookup_key.user_key()) {
+    return false;
+  }
+  if (seq != nullptr) {
+    *seq = parsed.sequence;
+  }
+  if (parsed.type == kTypeDeletion) {
+    *s = Status::NotFound(Slice());
+    return true;
+  }
+  value->assign(block_iter->value().data(), block_iter->value().size());
+  *s = Status::OK();
+  return true;
+}
+
+namespace {
+
+/// Two-level iterator: walks the index block; materializes one data block
+/// at a time through the fetcher.
+class SSTableIterator : public Iterator {
+ public:
+  SSTableIterator(const SSTableReader* reader, const SSTableMetadata* meta,
+                  BlockFetcher* fetcher, const InternalKeyComparator* icmp,
+                  Iterator* index_iter)
+      : reader_(reader),
+        meta_(meta),
+        fetcher_(fetcher),
+        icmp_(icmp),
+        index_iter_(index_iter) {}
+
+  bool Valid() const override {
+    return block_iter_ != nullptr && block_iter_->Valid();
+  }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+    if (block_iter_) {
+      block_iter_->SeekToFirst();
+    }
+    SkipEmptyBlocksForward();
+  }
+
+  void SeekToLast() override {
+    index_iter_->SeekToLast();
+    InitDataBlock();
+    if (block_iter_) {
+      block_iter_->SeekToLast();
+    }
+    SkipEmptyBlocksBackward();
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataBlock();
+    if (block_iter_) {
+      block_iter_->Seek(target);
+    }
+    SkipEmptyBlocksForward();
+  }
+
+  void Next() override {
+    block_iter_->Next();
+    SkipEmptyBlocksForward();
+  }
+
+  void Prev() override {
+    block_iter_->Prev();
+    SkipEmptyBlocksBackward();
+  }
+
+  Slice key() const override { return block_iter_->key(); }
+  Slice value() const override { return block_iter_->value(); }
+  Status status() const override { return status_; }
+
+ private:
+  void InitDataBlock() {
+    block_iter_.reset();
+    block_.reset();
+    if (!index_iter_->Valid()) {
+      return;
+    }
+    BlockHandle handle;
+    Slice handle_contents = index_iter_->value();
+    Status s = handle.DecodeFrom(&handle_contents);
+    if (!s.ok()) {
+      status_ = s;
+      return;
+    }
+    int fragment;
+    uint64_t local_offset;
+    if (!meta_->Locate(handle.offset, &fragment, &local_offset)) {
+      status_ = Status::Corruption("block offset outside fragment map");
+      return;
+    }
+    std::string contents;
+    s = fetcher_->Fetch(fragment, local_offset, handle.size, &contents);
+    if (!s.ok()) {
+      status_ = s;
+      return;
+    }
+    block_ = std::make_unique<Block>(std::move(contents));
+    block_iter_.reset(block_->NewIterator(icmp_));
+  }
+
+  void SkipEmptyBlocksForward() {
+    while (block_iter_ == nullptr || !block_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        block_iter_.reset();
+        return;
+      }
+      index_iter_->Next();
+      InitDataBlock();
+      if (block_iter_) {
+        block_iter_->SeekToFirst();
+      }
+    }
+  }
+
+  void SkipEmptyBlocksBackward() {
+    while (block_iter_ == nullptr || !block_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        block_iter_.reset();
+        return;
+      }
+      index_iter_->Prev();
+      InitDataBlock();
+      if (block_iter_) {
+        block_iter_->SeekToLast();
+      }
+    }
+  }
+
+  [[maybe_unused]] const SSTableReader* reader_;
+  const SSTableMetadata* meta_;
+  BlockFetcher* fetcher_;
+  const InternalKeyComparator* icmp_;
+  std::unique_ptr<Iterator> index_iter_;
+  std::unique_ptr<Block> block_;
+  std::unique_ptr<Iterator> block_iter_;
+  Status status_;
+};
+
+}  // namespace
+
+Iterator* SSTableReader::NewIterator() const {
+  return new SSTableIterator(this, &meta_, fetcher_, &icmp_,
+                             index_block_->NewIterator(&icmp_));
+}
+
+}  // namespace nova

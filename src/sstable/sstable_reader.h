@@ -1,0 +1,49 @@
+// Reads one SSTable through a BlockFetcher. The metadata (index + bloom)
+// is memory-resident — the LTC caches it (paper Section 4.1.1) — so a get
+// costs at most one fragment fetch, and none when the bloom filter rules
+// the key out.
+#ifndef NOVA_SSTABLE_SSTABLE_READER_H_
+#define NOVA_SSTABLE_SSTABLE_READER_H_
+
+#include <memory>
+#include <string>
+
+#include "mem/dbformat.h"
+#include "sstable/block.h"
+#include "sstable/format.h"
+#include "util/iterator.h"
+
+namespace nova {
+
+class SSTableReader {
+ public:
+  /// fetcher must outlive the reader and any iterator it creates.
+  SSTableReader(SSTableMetadata meta, BlockFetcher* fetcher);
+
+  /// True if the bloom filter admits the key (or there is no filter).
+  bool KeyMayMatch(const Slice& user_key) const;
+
+  /// Same contract as MemTable::Get: returns true if this table has an
+  /// entry (value or tombstone) for the key at/before the snapshot. *seq
+  /// (optional) receives the matched entry's sequence number.
+  bool Get(const LookupKey& lookup_key, std::string* value, Status* s,
+           SequenceNumber* seq = nullptr);
+
+  /// Iterator over all internal keys in the table.
+  Iterator* NewIterator() const;
+
+  const SSTableMetadata& meta() const { return meta_; }
+
+ private:
+  Status ReadBlock(const BlockHandle& handle,
+                   std::unique_ptr<Block>* block) const;
+
+  SSTableMetadata meta_;
+  BlockFetcher* fetcher_;
+  InternalKeyComparator icmp_;
+  std::unique_ptr<Block> index_block_;
+};
+
+}  // namespace nova
+
+#endif  // NOVA_SSTABLE_SSTABLE_READER_H_

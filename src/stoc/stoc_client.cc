@@ -1,0 +1,282 @@
+#include "stoc/stoc_client.h"
+
+namespace nova {
+namespace stoc {
+
+Status StocClient::SimpleCall(rdma::NodeId stoc, const std::string& req,
+                              Slice* body, std::string* storage,
+                              int timeout_ms) {
+  Status s = endpoint_->Call(stoc, req, storage, timeout_ms);
+  if (!s.ok()) {
+    return s;
+  }
+  return ParseResponse(*storage, body);
+}
+
+Status StocClient::AppendBlock(rdma::NodeId stoc, uint64_t file_id,
+                               const Slice& data, StocBlockHandle* handle) {
+  // 1. Ask the StoC for a buffer, registering our completion token.
+  uint64_t token = endpoint_->AllocToken();
+  std::string req;
+  req.push_back(kOpAllocBlock);
+  PutVarint64(&req, file_id);
+  PutVarint64(&req, data.size());
+  PutVarint64(&req, token);
+  std::string storage;
+  Slice body;
+  Status s = SimpleCall(stoc, req, &body, &storage);
+  if (!s.ok()) {
+    // Clean up the never-to-complete token registration.
+    endpoint_->WaitToken(token, nullptr, 0);
+    return s;
+  }
+  uint32_t mr_id;
+  if (!GetVarint32(&body, &mr_id)) {
+    endpoint_->WaitToken(token, nullptr, 0);
+    return Status::IOError("bad alloc-block response");
+  }
+  // 2. One-sided RDMA WRITE of the block, immediate data = buffer id.
+  s = endpoint_->fabric()->Write(endpoint_->node(), data,
+                                 rdma::RemoteAddr{stoc, mr_id, 0}, true,
+                                 mr_id);
+  if (!s.ok()) {
+    endpoint_->WaitToken(token, nullptr, 0);
+    return s;
+  }
+  // 3-4. The StoC flushes and completes our token with the block handle.
+  std::string payload;
+  s = endpoint_->WaitToken(token, &payload);
+  if (!s.ok()) {
+    return s;
+  }
+  Slice handle_slice(payload);
+  if (!handle->DecodeFrom(&handle_slice)) {
+    return Status::IOError("bad block handle in flush ack");
+  }
+  return Status::OK();
+}
+
+Status StocClient::ReadBlock(rdma::NodeId stoc, uint64_t file_id,
+                             uint64_t offset, uint64_t size,
+                             std::string* out) {
+  std::string req;
+  req.push_back(kOpReadBlock);
+  PutVarint64(&req, file_id);
+  PutVarint64(&req, offset);
+  PutVarint64(&req, size);
+  std::string storage;
+  Slice body;
+  Status s = SimpleCall(stoc, req, &body, &storage);
+  if (!s.ok()) {
+    return s;
+  }
+  out->assign(body.data(), body.size());
+  return Status::OK();
+}
+
+Status StocClient::DeleteFile(rdma::NodeId stoc, uint64_t file_id,
+                              bool in_memory) {
+  std::string req;
+  req.push_back(kOpDeleteFile);
+  PutVarint64(&req, file_id);
+  PutVarint32(&req, in_memory ? 1 : 0);
+  std::string storage;
+  Slice body;
+  return SimpleCall(stoc, req, &body, &storage);
+}
+
+Status StocClient::OpenInMemFile(rdma::NodeId stoc, uint64_t file_id,
+                                 uint64_t region_size,
+                                 InMemFileHandle* handle) {
+  std::string req;
+  req.push_back(kOpOpenInMemFile);
+  PutVarint64(&req, file_id);
+  PutVarint64(&req, region_size);
+  std::string storage;
+  Slice body;
+  Status s = SimpleCall(stoc, req, &body, &storage);
+  if (!s.ok()) {
+    return s;
+  }
+  uint32_t mr_id;
+  if (!GetVarint32(&body, &mr_id)) {
+    return Status::IOError("bad open response");
+  }
+  handle->stoc_id = stoc;
+  handle->file_id = file_id;
+  handle->regions = {InMemRegion{mr_id, region_size}};
+  return Status::OK();
+}
+
+Status StocClient::ExtendInMemFile(InMemFileHandle* handle) {
+  std::string req;
+  req.push_back(kOpExtendInMemFile);
+  PutVarint64(&req, handle->file_id);
+  std::string storage;
+  Slice body;
+  Status s = SimpleCall(handle->stoc_id, req, &body, &storage);
+  if (!s.ok()) {
+    return s;
+  }
+  uint32_t mr_id;
+  if (!GetVarint32(&body, &mr_id)) {
+    return Status::IOError("bad extend response");
+  }
+  handle->regions.push_back(
+      InMemRegion{mr_id, handle->regions.front().size});
+  return Status::OK();
+}
+
+Status StocClient::WriteInMem(const InMemFileHandle& handle,
+                              uint64_t global_offset, const Slice& data) {
+  uint64_t base = 0;
+  for (const InMemRegion& region : handle.regions) {
+    if (global_offset < base + region.size) {
+      uint64_t local = global_offset - base;
+      if (local + data.size() > region.size) {
+        return Status::InvalidArgument("write spans region boundary");
+      }
+      return endpoint_->fabric()->Write(
+          endpoint_->node(), data,
+          rdma::RemoteAddr{handle.stoc_id, region.mr_id, local},
+          /*notify=*/false, 0);
+    }
+    base += region.size;
+  }
+  return Status::InvalidArgument("offset beyond in-memory file");
+}
+
+Status StocClient::ReadInMemRegion(const InMemFileHandle& handle,
+                                   size_t region_index, std::string* out) {
+  if (region_index >= handle.regions.size()) {
+    return Status::InvalidArgument("no such region");
+  }
+  const InMemRegion& region = handle.regions[region_index];
+  out->resize(region.size);
+  return endpoint_->fabric()->Read(
+      endpoint_->node(), rdma::RemoteAddr{handle.stoc_id, region.mr_id, 0},
+      out->data(), region.size);
+}
+
+Status StocClient::NicAppend(const InMemFileHandle& handle,
+                             uint64_t global_offset, const Slice& data) {
+  std::string req;
+  req.push_back(kOpNicAppend);
+  PutVarint64(&req, handle.file_id);
+  PutVarint64(&req, global_offset);
+  req.append(data.data(), data.size());
+  std::string storage;
+  Slice body;
+  return SimpleCall(handle.stoc_id, req, &body, &storage);
+}
+
+Status StocClient::GetStats(rdma::NodeId stoc, StocStats* stats) {
+  std::string req;
+  req.push_back(kOpStats);
+  std::string storage;
+  Slice body;
+  Status s = SimpleCall(stoc, req, &body, &storage);
+  if (!s.ok()) {
+    return s;
+  }
+  uint32_t depth;
+  uint64_t stored, util;
+  if (!GetVarint32(&body, &depth) || !GetVarint64(&body, &stored) ||
+      !GetVarint64(&body, &util)) {
+    return Status::IOError("bad stats response");
+  }
+  stats->queue_depth = static_cast<int>(depth);
+  stats->stored_bytes = stored;
+  stats->cpu_utilization = static_cast<double>(util) / 1e6;
+  return Status::OK();
+}
+
+Status StocClient::QueryLogFiles(rdma::NodeId stoc, uint32_t range_id,
+                                 std::vector<InMemFileHandle>* handles) {
+  std::string req;
+  req.push_back(kOpQueryLogFiles);
+  PutVarint32(&req, range_id);
+  std::string storage;
+  Slice body;
+  Status s = SimpleCall(stoc, req, &body, &storage);
+  if (!s.ok()) {
+    return s;
+  }
+  uint32_t count;
+  if (!GetVarint32(&body, &count)) {
+    return Status::IOError("bad log-files response");
+  }
+  handles->clear();
+  for (uint32_t i = 0; i < count; i++) {
+    InMemFileHandle h;
+    h.stoc_id = stoc;
+    uint32_t nregions;
+    if (!GetVarint64(&body, &h.file_id) || !GetVarint32(&body, &nregions)) {
+      return Status::IOError("bad log-files entry");
+    }
+    for (uint32_t r = 0; r < nregions; r++) {
+      InMemRegion region;
+      if (!GetVarint32(&body, &region.mr_id) ||
+          !GetVarint64(&body, &region.size)) {
+        return Status::IOError("bad log-files region");
+      }
+      h.regions.push_back(region);
+    }
+    handles->push_back(std::move(h));
+  }
+  return Status::OK();
+}
+
+Status StocClient::ListFiles(rdma::NodeId stoc,
+                             std::vector<uint64_t>* files) {
+  std::string req;
+  req.push_back(kOpListFiles);
+  std::string storage;
+  Slice body;
+  Status s = SimpleCall(stoc, req, &body, &storage);
+  if (!s.ok()) {
+    return s;
+  }
+  uint32_t count;
+  if (!GetVarint32(&body, &count)) {
+    return Status::IOError("bad list response");
+  }
+  files->clear();
+  for (uint32_t i = 0; i < count; i++) {
+    uint64_t id;
+    if (!GetVarint64(&body, &id)) {
+      return Status::IOError("bad list entry");
+    }
+    files->push_back(id);
+  }
+  return Status::OK();
+}
+
+Status StocClient::CopyFileTo(rdma::NodeId stoc, uint64_t file_id,
+                              rdma::NodeId dst) {
+  std::string req;
+  req.push_back(kOpCopyFileTo);
+  PutVarint64(&req, file_id);
+  PutVarint32(&req, static_cast<uint32_t>(dst));
+  std::string storage;
+  Slice body;
+  return SimpleCall(stoc, req, &body, &storage, 60000);
+}
+
+Status StocClient::Compaction(rdma::NodeId stoc, const Slice& job,
+                              std::string* result, int timeout_ms) {
+  std::string req;
+  req.push_back(kOpCompaction);
+  req.append(job.data(), job.size());
+  std::string storage;
+  Slice body;
+  Status s = SimpleCall(stoc, req, &body, &storage, timeout_ms);
+  if (!s.ok()) {
+    return s;
+  }
+  result->assign(body.data(), body.size());
+  return Status::OK();
+}
+
+}  // namespace stoc
+}  // namespace nova

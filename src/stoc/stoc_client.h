@@ -1,0 +1,87 @@
+// Client library for talking to StoCs (used by LTCs, LogC, the compaction
+// executor, and StoCs themselves during StoC-to-StoC copies). Implements
+// the append flow of Figure 10 and the one-sided in-memory file protocol
+// of Section 6.1 on top of the shared RpcEndpoint.
+#ifndef NOVA_STOC_STOC_CLIENT_H_
+#define NOVA_STOC_STOC_CLIENT_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "rdma/rpc.h"
+#include "stoc/stoc_common.h"
+
+namespace nova {
+namespace stoc {
+
+struct StocStats {
+  int queue_depth = 0;
+  uint64_t stored_bytes = 0;
+  double cpu_utilization = 0;
+};
+
+class StocClient {
+ public:
+  /// endpoint is shared with the owning component (its xchg threads route
+  /// our responses); it must outlive this client.
+  explicit StocClient(rdma::RpcEndpoint* endpoint) : endpoint_(endpoint) {}
+
+  /// --- Persistent files (Figure 10 flow) ---
+
+  /// Append data as one block of file_id on stoc. On success *handle
+  /// locates the block. This performs: alloc RPC, one-sided RDMA WRITE
+  /// with immediate data, then waits for the flush acknowledgment.
+  Status AppendBlock(rdma::NodeId stoc, uint64_t file_id, const Slice& data,
+                     StocBlockHandle* handle);
+
+  /// Read [offset, offset+size) of a persistent file. size 0 = whole file.
+  Status ReadBlock(rdma::NodeId stoc, uint64_t file_id, uint64_t offset,
+                   uint64_t size, std::string* out);
+
+  Status DeleteFile(rdma::NodeId stoc, uint64_t file_id, bool in_memory);
+
+  /// --- In-memory files (Section 6.1) ---
+
+  Status OpenInMemFile(rdma::NodeId stoc, uint64_t file_id,
+                       uint64_t region_size, InMemFileHandle* handle);
+  /// Ask the StoC for one more region (when the current one is full).
+  Status ExtendInMemFile(InMemFileHandle* handle);
+  /// One-sided write at a global offset within the file's region chain.
+  /// The data must fit entirely inside one region.
+  Status WriteInMem(const InMemFileHandle& handle, uint64_t global_offset,
+                    const Slice& data);
+  /// One-sided read of a whole region into *out (recovery path).
+  Status ReadInMemRegion(const InMemFileHandle& handle, size_t region_index,
+                         std::string* out);
+  /// Two-sided append to an in-memory file: the StoC's CPU copies the
+  /// data (the paper's NIC replication path, Section 8.2.3).
+  Status NicAppend(const InMemFileHandle& handle, uint64_t global_offset,
+                   const Slice& data);
+
+  /// --- Introspection / management ---
+
+  Status GetStats(rdma::NodeId stoc, StocStats* stats);
+  /// In-memory log files of a range: used by LogC recovery.
+  Status QueryLogFiles(rdma::NodeId stoc, uint32_t range_id,
+                       std::vector<InMemFileHandle>* handles);
+  Status ListFiles(rdma::NodeId stoc, std::vector<uint64_t>* files);
+  /// Ask stoc to copy file_id to dst (graceful decommission path).
+  Status CopyFileTo(rdma::NodeId stoc, uint64_t file_id, rdma::NodeId dst);
+  /// Offloaded compaction round trip.
+  Status Compaction(rdma::NodeId stoc, const Slice& job, std::string* result,
+                    int timeout_ms = 120000);
+
+  rdma::RpcEndpoint* endpoint() { return endpoint_; }
+
+ private:
+  Status SimpleCall(rdma::NodeId stoc, const std::string& req, Slice* body,
+                    std::string* storage, int timeout_ms = 30000);
+
+  rdma::RpcEndpoint* endpoint_;
+};
+
+}  // namespace stoc
+}  // namespace nova
+
+#endif  // NOVA_STOC_STOC_CLIENT_H_

@@ -1,0 +1,66 @@
+#include "storage/block_store.h"
+
+namespace nova {
+
+uint64_t BlockStore::Append(uint64_t file_id, const Slice& data) {
+  std::lock_guard<std::mutex> l(mu_);
+  std::string& f = files_[file_id];
+  uint64_t offset = f.size();
+  f.append(data.data(), data.size());
+  return offset;
+}
+
+Status BlockStore::Read(uint64_t file_id, uint64_t offset, uint64_t n,
+                        std::string* out) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    return Status::NotFound("no such stoc file");
+  }
+  const std::string& f = it->second;
+  if (offset + n > f.size()) {
+    return Status::InvalidArgument("read past end of stoc file");
+  }
+  out->assign(f.data() + offset, n);
+  return Status::OK();
+}
+
+Status BlockStore::Delete(uint64_t file_id) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (files_.erase(file_id) == 0) {
+    return Status::NotFound("no such stoc file");
+  }
+  return Status::OK();
+}
+
+bool BlockStore::Exists(uint64_t file_id) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return files_.count(file_id) > 0;
+}
+
+uint64_t BlockStore::FileSize(uint64_t file_id) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(file_id);
+  return it == files_.end() ? 0 : it->second.size();
+}
+
+std::vector<uint64_t> BlockStore::ListFiles() const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<uint64_t> ids;
+  ids.reserve(files_.size());
+  for (const auto& [id, data] : files_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+uint64_t BlockStore::TotalBytes() const {
+  std::lock_guard<std::mutex> l(mu_);
+  uint64_t total = 0;
+  for (const auto& [id, data] : files_) {
+    total += data.size();
+  }
+  return total;
+}
+
+}  // namespace nova

@@ -1,0 +1,53 @@
+// BlockStore is the durable byte storage behind a StoC's persistent files:
+// a map from file id to an append-only buffer. It deliberately lives
+// *outside* the StoC server object (owned by the cluster harness), so that
+// "crashing" a StoC and restarting it loses all component state but keeps
+// the stored bytes — emulating a real disk across process failures. It has
+// no timing; timing comes from the SimulatedDevice in front of it.
+#ifndef NOVA_STORAGE_BLOCK_STORE_H_
+#define NOVA_STORAGE_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace nova {
+
+class BlockStore {
+ public:
+  BlockStore() = default;
+
+  BlockStore(const BlockStore&) = delete;
+  BlockStore& operator=(const BlockStore&) = delete;
+
+  /// Append data to file_id (creating it if needed); returns the offset the
+  /// data landed at.
+  uint64_t Append(uint64_t file_id, const Slice& data);
+
+  /// Read [offset, offset+n) of file_id into *out.
+  Status Read(uint64_t file_id, uint64_t offset, uint64_t n,
+              std::string* out) const;
+
+  Status Delete(uint64_t file_id);
+  bool Exists(uint64_t file_id) const;
+  uint64_t FileSize(uint64_t file_id) const;
+
+  /// Ids of all stored files (used by a restarting StoC to re-report its
+  /// replicas, paper Section 9).
+  std::vector<uint64_t> ListFiles() const;
+
+  uint64_t TotalBytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::string> files_;
+};
+
+}  // namespace nova
+
+#endif  // NOVA_STORAGE_BLOCK_STORE_H_

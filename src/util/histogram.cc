@@ -1,0 +1,143 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace nova {
+namespace {
+
+// Precomputed exponential bucket upper bounds: 1, 2, ..., growing by ~12%,
+// covering up to ~10^9 us (~17 minutes) in kNumBuckets buckets.
+struct Bounds {
+  uint64_t upper[Histogram::kNumBuckets];
+  Bounds() {
+    double v = 1.0;
+    for (int i = 0; i < Histogram::kNumBuckets; i++) {
+      upper[i] = static_cast<uint64_t>(v);
+      v = std::max(v * 1.15, v + 1.0);
+    }
+  }
+};
+
+const Bounds& bounds() {
+  static const Bounds b;
+  return b;
+}
+
+}  // namespace
+
+Histogram::Histogram()
+    : count_(0),
+      sum_(0),
+      min_(std::numeric_limits<uint64_t>::max()),
+      max_(0),
+      buckets_(kNumBuckets) {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  const auto& b = bounds();
+  int lo = 0;
+  int hi = kNumBuckets - 1;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (b.upper[mid] >= value) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+uint64_t Histogram::BucketUpper(int bucket) { return bounds().upper[bucket]; }
+
+void Histogram::Add(uint64_t value_us) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value_us, std::memory_order_relaxed);
+  uint64_t prev_min = min_.load(std::memory_order_relaxed);
+  while (value_us < prev_min &&
+         !min_.compare_exchange_weak(prev_min, value_us)) {
+  }
+  uint64_t prev_max = max_.load(std::memory_order_relaxed);
+  while (value_us > prev_max &&
+         !max_.compare_exchange_weak(prev_max, value_us)) {
+  }
+  buckets_[BucketFor(value_us)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_.fetch_add(other.count_.load());
+  sum_.fetch_add(other.sum_.load());
+  uint64_t omin = other.min_.load();
+  uint64_t prev_min = min_.load();
+  while (omin < prev_min && !min_.compare_exchange_weak(prev_min, omin)) {
+  }
+  uint64_t omax = other.max_.load();
+  uint64_t prev_max = max_.load();
+  while (omax > prev_max && !max_.compare_exchange_weak(prev_max, omax)) {
+  }
+  for (int i = 0; i < kNumBuckets; i++) {
+    buckets_[i].fetch_add(other.buckets_[i].load());
+  }
+}
+
+void Histogram::Clear() {
+  count_.store(0);
+  sum_.store(0);
+  min_.store(std::numeric_limits<uint64_t>::max());
+  max_.store(0);
+  for (auto& b : buckets_) {
+    b.store(0);
+  }
+}
+
+double Histogram::Average() const {
+  uint64_t c = count_.load();
+  if (c == 0) {
+    return 0;
+  }
+  return static_cast<double>(sum_.load()) / static_cast<double>(c);
+}
+
+double Histogram::Percentile(double p) const {
+  uint64_t total = count_.load();
+  if (total == 0) {
+    return 0;
+  }
+  double threshold = total * (p / 100.0);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; i++) {
+    uint64_t b = buckets_[i].load();
+    cumulative += b;
+    if (cumulative >= threshold) {
+      uint64_t lower = (i == 0) ? 0 : BucketUpper(i - 1);
+      uint64_t upper = BucketUpper(i);
+      if (b == 0) {
+        return static_cast<double>(upper);
+      }
+      // Linear interpolation within the bucket.
+      double frac = (threshold - (cumulative - b)) / static_cast<double>(b);
+      return lower + frac * (upper - lower);
+    }
+  }
+  return static_cast<double>(max_.load());
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%llu avg=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus "
+           "min=%lluus max=%lluus",
+           static_cast<unsigned long long>(count()), Average(),
+           Percentile(50), Percentile(95), Percentile(99),
+           static_cast<unsigned long long>(count() ? Min() : 0),
+           static_cast<unsigned long long>(Max()));
+  return buf;
+}
+
+}  // namespace nova

@@ -1,0 +1,47 @@
+// A thread-safe latency histogram with exponential bucket boundaries.
+// Records microsecond values; reports avg, percentiles, min, max. Used by
+// the benchmark harness for the paper's avg/p95/p99 response-time tables.
+#ifndef NOVA_UTIL_HISTOGRAM_H_
+#define NOVA_UTIL_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nova {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value_us);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double Average() const;
+  /// p in [0, 100]; linear interpolation within the matched bucket.
+  double Percentile(double p) const;
+  uint64_t Min() const { return min_.load(std::memory_order_relaxed); }
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+
+  std::string ToString() const;
+
+  static constexpr int kNumBuckets = 154;
+
+ private:
+  /// Bucket index for a value; boundaries grow ~12% per bucket.
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpper(int bucket);
+
+  std::atomic<uint64_t> count_;
+  std::atomic<uint64_t> sum_;
+  std::atomic<uint64_t> min_;
+  std::atomic<uint64_t> max_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+};
+
+}  // namespace nova
+
+#endif  // NOVA_UTIL_HISTOGRAM_H_

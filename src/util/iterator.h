@@ -1,0 +1,40 @@
+// Abstract iterator over a sorted key/value sequence, in the LevelDB mold.
+// Implemented by memtables, SSTable blocks, whole SSTables, level
+// concatenations and merging iterators.
+#ifndef NOVA_UTIL_ITERATOR_H_
+#define NOVA_UTIL_ITERATOR_H_
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace nova {
+
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator() = default;
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  /// Position at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+  /// REQUIRES: Valid().
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+  virtual Status status() const = 0;
+};
+
+/// An iterator over nothing (always invalid, OK status).
+Iterator* NewEmptyIterator();
+/// An always-invalid iterator carrying an error.
+Iterator* NewErrorIterator(const Status& status);
+
+}  // namespace nova
+
+#endif  // NOVA_UTIL_ITERATOR_H_

@@ -1,0 +1,38 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace nova {
+namespace {
+
+std::atomic<int> g_level{-1};
+
+int InitLevelFromEnv() {
+  const char* env = getenv("NOVA_LOG_LEVEL");
+  if (env == nullptr) {
+    return static_cast<int>(LogLevel::kWarn);
+  }
+  if (strcmp(env, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  if (strcmp(env, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (strcmp(env, "error") == 0) return static_cast<int>(LogLevel::kError);
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = InitLevelFromEnv();
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+}  // namespace nova

@@ -1,0 +1,33 @@
+// Minimal leveled logging to stderr. Defaults to warnings-and-above so that
+// tests and benchmarks stay quiet; NOVA_LOG_LEVEL env or SetLogLevel can
+// raise verbosity when debugging.
+#ifndef NOVA_UTIL_LOGGING_H_
+#define NOVA_UTIL_LOGGING_H_
+
+#include <cstdio>
+
+namespace nova {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+}  // namespace nova
+
+#define NOVA_LOG_AT(level, tag, ...)                         \
+  do {                                                       \
+    if (static_cast<int>(level) >=                           \
+        static_cast<int>(::nova::GetLogLevel())) {           \
+      fprintf(stderr, "[%s %s:%d] ", tag, __FILE__, __LINE__); \
+      fprintf(stderr, __VA_ARGS__);                          \
+      fprintf(stderr, "\n");                                 \
+    }                                                        \
+  } while (0)
+
+#define NOVA_DEBUG(...) NOVA_LOG_AT(::nova::LogLevel::kDebug, "D", __VA_ARGS__)
+#define NOVA_INFO(...) NOVA_LOG_AT(::nova::LogLevel::kInfo, "I", __VA_ARGS__)
+#define NOVA_WARN(...) NOVA_LOG_AT(::nova::LogLevel::kWarn, "W", __VA_ARGS__)
+#define NOVA_ERROR(...) NOVA_LOG_AT(::nova::LogLevel::kError, "E", __VA_ARGS__)
+
+#endif  // NOVA_UTIL_LOGGING_H_

@@ -1,0 +1,54 @@
+// A small, fast, reproducible pseudo-random generator (xorshift128+ core)
+// plus helpers used across the workload generators and placement policies.
+#ifndef NOVA_UTIL_RANDOM_H_
+#define NOVA_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace nova {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    s_[0] = seed * 0x9e3779b97f4a7c15ull + 1;
+    s_[1] = (seed ^ 0xda3e39cb94b95bdbull) | 1;
+    // Warm up so nearby seeds diverge.
+    for (int i = 0; i < 8; i++) {
+      Next64();
+    }
+  }
+
+  uint64_t Next64() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  uint32_t Next() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next64() % n; }
+
+  /// Returns true with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / (1ull << 53));
+  }
+
+  /// Skewed: pick base so that smaller numbers are exponentially likelier.
+  uint64_t Skewed(int max_log) {
+    return Uniform(1ull << Uniform(max_log + 1));
+  }
+
+ private:
+  uint64_t s_[2];
+};
+
+}  // namespace nova
+
+#endif  // NOVA_UTIL_RANDOM_H_

@@ -1,0 +1,90 @@
+#include "util/slab_allocator.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace nova {
+
+SlabAllocator::SlabAllocator(const Options& options) : options_(options) {
+  region_ = static_cast<char*>(malloc(options_.total_bytes));
+  size_t size = options_.min_chunk;
+  while (size <= options_.slab_page_bytes) {
+    classes_.push_back(SizeClass{size, {}});
+    size_t next = static_cast<size_t>(size * options_.growth_factor);
+    if (next <= size) {
+      next = size + 1;
+    }
+    size = next;
+  }
+  // Ensure one class that spans a whole slab page for the largest requests.
+  if (classes_.empty() ||
+      classes_.back().chunk_size != options_.slab_page_bytes) {
+    classes_.push_back(SizeClass{options_.slab_page_bytes, {}});
+  }
+}
+
+SlabAllocator::~SlabAllocator() { free(region_); }
+
+int SlabAllocator::ClassFor(size_t n) const {
+  for (size_t i = 0; i < classes_.size(); i++) {
+    if (classes_[i].chunk_size >= n) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+bool SlabAllocator::Grow(SizeClass* c) {
+  size_t page = options_.slab_page_bytes;
+  if (region_used_ + page > options_.total_bytes) {
+    return false;
+  }
+  char* base = region_ + region_used_;
+  region_used_ += page;
+  size_t count = page / c->chunk_size;
+  c->free_list.reserve(c->free_list.size() + count);
+  for (size_t i = 0; i < count; i++) {
+    c->free_list.push_back(base + i * c->chunk_size);
+  }
+  return true;
+}
+
+char* SlabAllocator::Allocate(size_t n) {
+  if (n == 0) {
+    n = 1;
+  }
+  int idx = ClassFor(n);
+  if (idx < 0) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> l(mu_);
+  SizeClass* c = &classes_[idx];
+  if (c->free_list.empty() && !Grow(c)) {
+    return nullptr;
+  }
+  char* ptr = c->free_list.back();
+  c->free_list.pop_back();
+  allocated_ += c->chunk_size;
+  return ptr;
+}
+
+void SlabAllocator::Free(char* ptr, size_t n) {
+  if (ptr == nullptr) {
+    return;
+  }
+  int idx = ClassFor(n == 0 ? 1 : n);
+  if (idx < 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> l(mu_);
+  SizeClass* c = &classes_[idx];
+  c->free_list.push_back(ptr);
+  allocated_ -= c->chunk_size;
+}
+
+size_t SlabAllocator::allocated_bytes() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return allocated_;
+}
+
+}  // namespace nova

@@ -1,0 +1,68 @@
+// Memcached-style slab allocator over a fixed preallocated memory region.
+// The paper (Section 7) manages all RDMA READ/WRITE memory this way:
+// requests for different sizes allocate and free from size classes carved
+// out of a fixed arena, so the RDMA-registered region never grows.
+#ifndef NOVA_UTIL_SLAB_ALLOCATOR_H_
+#define NOVA_UTIL_SLAB_ALLOCATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace nova {
+
+class SlabAllocator {
+ public:
+  struct Options {
+    size_t total_bytes = 64 << 20;   // size of the preallocated region
+    size_t min_chunk = 64;           // smallest size class
+    double growth_factor = 2.0;      // size-class growth
+    size_t slab_page_bytes = 1 << 20;  // pages handed to a class at a time
+  };
+
+  explicit SlabAllocator(const Options& options);
+  ~SlabAllocator();
+
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  /// Returns nullptr when the arena is exhausted or n exceeds the largest
+  /// size class. The returned pointer lies inside the registered region.
+  char* Allocate(size_t n);
+
+  /// Free a pointer previously returned by Allocate with the same size.
+  void Free(char* ptr, size_t n);
+
+  /// Base of the preallocated region (what an RNIC would register).
+  char* region_base() const { return region_; }
+  size_t region_size() const { return options_.total_bytes; }
+
+  size_t allocated_bytes() const;
+  size_t num_size_classes() const { return classes_.size(); }
+  /// Chunk size of class index i (for tests/introspection).
+  size_t class_chunk_size(size_t i) const { return classes_[i].chunk_size; }
+
+ private:
+  struct SizeClass {
+    size_t chunk_size;
+    std::vector<char*> free_list;
+  };
+
+  /// Index of the smallest class whose chunk_size >= n, or -1.
+  int ClassFor(size_t n) const;
+  /// Carve a fresh slab page into chunks for class c. Returns false when
+  /// the region is exhausted.
+  bool Grow(SizeClass* c);
+
+  Options options_;
+  char* region_;
+  size_t region_used_ = 0;  // bump offset for carving slab pages
+  mutable std::mutex mu_;
+  std::vector<SizeClass> classes_;
+  size_t allocated_ = 0;
+};
+
+}  // namespace nova
+
+#endif  // NOVA_UTIL_SLAB_ALLOCATOR_H_

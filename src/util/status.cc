@@ -1,0 +1,38 @@
+#include "util/status.h"
+
+namespace nova {
+
+std::string Status::ToString() const {
+  const char* type;
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      type = "NotFound: ";
+      break;
+    case Code::kCorruption:
+      type = "Corruption: ";
+      break;
+    case Code::kNotSupported:
+      type = "Not supported: ";
+      break;
+    case Code::kInvalidArgument:
+      type = "Invalid argument: ";
+      break;
+    case Code::kIOError:
+      type = "IO error: ";
+      break;
+    case Code::kUnavailable:
+      type = "Unavailable: ";
+      break;
+    case Code::kBusy:
+      type = "Busy: ";
+      break;
+    default:
+      type = "Unknown code: ";
+      break;
+  }
+  return std::string(type) + msg_;
+}
+
+}  // namespace nova

@@ -1,0 +1,71 @@
+// Status: the error-reporting currency of the library. Functions that can
+// fail return a Status (or a value plus a Status out-param) instead of
+// throwing; this matches the Google style used throughout the codebase.
+#ifndef NOVA_UTIL_STATUS_H_
+#define NOVA_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/slice.h"
+
+namespace nova {
+
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(const Slice& msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status NotSupported(const Slice& msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status InvalidArgument(const Slice& msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(const Slice& msg) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status Unavailable(const Slice& msg) {
+    return Status(Code::kUnavailable, msg);
+  }
+  static Status Busy(const Slice& msg) { return Status(Code::kBusy, msg); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+
+  /// Human-readable representation, e.g. "IO error: device failed".
+  std::string ToString() const;
+
+ private:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kNotSupported,
+    kInvalidArgument,
+    kIOError,
+    kUnavailable,
+    kBusy,
+  };
+
+  Status(Code code, const Slice& msg) : code_(code), msg_(msg.ToString()) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+}  // namespace nova
+
+#endif  // NOVA_UTIL_STATUS_H_

@@ -1,0 +1,53 @@
+#include "util/zipfian.h"
+
+#include <cmath>
+
+namespace nova {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t num_keys, double theta)
+    : num_keys_(num_keys), theta_(theta) {
+  zeta2theta_ = Zeta(2, theta_);
+  zetan_ = Zeta(num_keys_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_keys_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta_val) const {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta_val);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next(Random* rng) {
+  double u = rng->NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(num_keys_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (v >= num_keys_) {
+    v = num_keys_ - 1;
+  }
+  return v;
+}
+
+uint64_t ScrambledZipfianGenerator::Next(Random* rng) {
+  uint64_t rank = zipf_.Next(rng);
+  // 64-bit FNV-1a over the rank bytes.
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (int i = 0; i < 8; i++) {
+    hash ^= (rank >> (i * 8)) & 0xff;
+    hash *= 0x100000001b3ull;
+  }
+  return hash % num_keys_;
+}
+
+}  // namespace nova

@@ -1,0 +1,72 @@
+// YCSB-style key-choosing distributions: Uniform, Zipfian (Gray et al.'s
+// incremental method, as in the YCSB ZipfianGenerator), and a scrambled
+// variant that spreads the hot keys over the keyspace. The paper uses the
+// YCSB default constant 0.99 ("85% of requests reference 10% of keys") and
+// also 0.27 / 0.73 for the skew sweep (Figure 12).
+#ifndef NOVA_UTIL_ZIPFIAN_H_
+#define NOVA_UTIL_ZIPFIAN_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace nova {
+
+/// Interface shared by the key distributions.
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+  /// Next key index in [0, num_keys).
+  virtual uint64_t Next(Random* rng) = 0;
+  virtual uint64_t num_keys() const = 0;
+};
+
+class UniformGenerator final : public KeyGenerator {
+ public:
+  explicit UniformGenerator(uint64_t num_keys) : num_keys_(num_keys) {}
+  uint64_t Next(Random* rng) override { return rng->Uniform(num_keys_); }
+  uint64_t num_keys() const override { return num_keys_; }
+
+ private:
+  uint64_t num_keys_;
+};
+
+class ZipfianGenerator final : public KeyGenerator {
+ public:
+  /// theta is the Zipfian constant (YCSB default 0.99).
+  ZipfianGenerator(uint64_t num_keys, double theta);
+
+  uint64_t Next(Random* rng) override;
+  uint64_t num_keys() const override { return num_keys_; }
+
+ private:
+  double Zeta(uint64_t n, double theta_val) const;
+
+  uint64_t num_keys_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// Zipfian with rank-0 hotness scattered via an FNV hash, as YCSB's
+/// ScrambledZipfianGenerator does; keeps hot keys from clustering in one
+/// application range (useful for multi-LTC skew experiments where the paper
+/// instead relies on contiguous hot ranges — both modes are provided).
+class ScrambledZipfianGenerator final : public KeyGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t num_keys, double theta)
+      : zipf_(num_keys, theta), num_keys_(num_keys) {}
+
+  uint64_t Next(Random* rng) override;
+  uint64_t num_keys() const override { return num_keys_; }
+
+ private:
+  ZipfianGenerator zipf_;
+  uint64_t num_keys_;
+};
+
+}  // namespace nova
+
+#endif  // NOVA_UTIL_ZIPFIAN_H_

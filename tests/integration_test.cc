@@ -1,0 +1,410 @@
+// End-to-end tests of the full in-process cluster: LTCs + StoCs over the
+// RDMA fabric emulation, exercised against a std::map oracle, plus fault
+// injection (StoC loss with replication/parity, LTC crash + recovery),
+// range migration and elasticity.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baseline/baseline.h"
+#include "bench_core/workload.h"
+#include "coord/cluster.h"
+#include "client/nova_client.h"
+#include "util/random.h"
+
+namespace nova {
+namespace {
+
+using coord::Cluster;
+using coord::ClusterOptions;
+
+std::string Key(uint64_t i) { return bench::MakeKey(i); }
+
+/// Small, fast cluster: no device timing, unlimited CPU, tiny memtables so
+/// flush/compaction trigger quickly.
+ClusterOptions FastOptions(int ltcs, int stocs) {
+  ClusterOptions opt;
+  opt.num_ltcs = ltcs;
+  opt.num_stocs = stocs;
+  opt.device.time_scale = 0;
+  opt.range.memtable_size = 8 << 10;
+  opt.range.max_memtables = 8;
+  opt.range.max_sstable_size = 16 << 10;
+  opt.range.drange.theta = 4;
+  opt.range.drange.warmup_writes = 200;
+  opt.range.drange.sample_rate = 1;
+  opt.range.unique_key_threshold = 10;
+  opt.range.lsm.l0_compaction_trigger_bytes = 32 << 10;
+  opt.range.lsm.l0_stop_bytes = 256 << 10;
+  opt.range.lsm.base_level_bytes = 128 << 10;
+  opt.range.log.num_replicas = std::min(3, stocs);
+  opt.range.log.region_size = 64 << 10;
+  opt.range.manifest_replicas = std::min(3, stocs);
+  opt.placement.rho = 1;
+  opt.stoc.slab_bytes = 64 << 20;
+  opt.stoc.slab_page_bytes = 256 << 10;
+  return opt;
+}
+
+class IntegrationTest : public testing::Test {
+ protected:
+  void StartCluster(const ClusterOptions& opt) {
+    cluster_ = std::make_unique<Cluster>(opt);
+    cluster_->Start();
+  }
+
+  void TearDown() override {
+    if (cluster_) {
+      cluster_->Stop();
+    }
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(IntegrationTest, PutGetRoundTrip) {
+  StartCluster(FastOptions(1, 2));
+  ASSERT_TRUE(cluster_->Put("hello", "world").ok());
+  std::string value;
+  ASSERT_TRUE(cluster_->Get("hello", &value).ok());
+  EXPECT_EQ(value, "world");
+  EXPECT_TRUE(cluster_->Get("missing", &value).IsNotFound());
+}
+
+TEST_F(IntegrationTest, OverwriteAndDelete) {
+  StartCluster(FastOptions(1, 2));
+  ASSERT_TRUE(cluster_->Put("k", "v1").ok());
+  ASSERT_TRUE(cluster_->Put("k", "v2").ok());
+  std::string value;
+  ASSERT_TRUE(cluster_->Get("k", &value).ok());
+  EXPECT_EQ(value, "v2");
+  ASSERT_TRUE(cluster_->Delete("k").ok());
+  EXPECT_TRUE(cluster_->Get("k", &value).IsNotFound());
+}
+
+TEST_F(IntegrationTest, OracleConsistencyThroughFlushesAndCompactions) {
+  StartCluster(FastOptions(1, 3));
+  std::map<std::string, std::string> oracle;
+  Random rng(11);
+  // Enough writes to force many flushes and L0->L1 compactions.
+  for (int i = 0; i < 6000; i++) {
+    std::string key = Key(rng.Uniform(800));
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(cluster_->Put(key, value).ok());
+    oracle[key] = value;
+  }
+  auto* engine = cluster_->ltc(0)->ranges()[0];
+  engine->FlushAllMemtables();
+  engine->WaitForQuiescence(/*flush_all=*/true);
+  EXPECT_GT(engine->stats().flushes, 0u);
+  EXPECT_GT(engine->stats().compactions, 0u);
+
+  for (const auto& [key, value] : oracle) {
+    std::string got;
+    Status s = cluster_->Get(key, &got);
+    ASSERT_TRUE(s.ok()) << key << " " << s.ToString();
+    EXPECT_EQ(got, value) << key;
+  }
+}
+
+TEST_F(IntegrationTest, ScanMatchesOracle) {
+  StartCluster(FastOptions(1, 2));
+  std::map<std::string, std::string> oracle;
+  Random rng(12);
+  for (int i = 0; i < 3000; i++) {
+    std::string key = Key(rng.Uniform(500));
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(cluster_->Put(key, value).ok());
+    oracle[key] = value;
+  }
+  // Scans from random positions must equal the oracle's next-10.
+  for (int trial = 0; trial < 50; trial++) {
+    std::string start = Key(rng.Uniform(500));
+    std::vector<std::pair<std::string, std::string>> got;
+    ASSERT_TRUE(cluster_->Scan(start, 10, &got).ok());
+    auto it = oracle.lower_bound(start);
+    for (const auto& [k, v] : got) {
+      ASSERT_NE(it, oracle.end());
+      EXPECT_EQ(k, it->first);
+      EXPECT_EQ(v, it->second);
+      ++it;
+    }
+    size_t expected =
+        std::min<size_t>(10, std::distance(oracle.lower_bound(start),
+                                           oracle.end()));
+    EXPECT_EQ(got.size(), expected);
+  }
+}
+
+TEST_F(IntegrationTest, ScanSeesDeletes) {
+  StartCluster(FastOptions(1, 2));
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(cluster_->Put(Key(i), "v").ok());
+  }
+  ASSERT_TRUE(cluster_->Delete(Key(3)).ok());
+  ASSERT_TRUE(cluster_->Delete(Key(4)).ok());
+  std::vector<std::pair<std::string, std::string>> got;
+  ASSERT_TRUE(cluster_->Scan(Key(2), 4, &got).ok());
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].first, Key(2));
+  EXPECT_EQ(got[1].first, Key(5));
+  EXPECT_EQ(got[2].first, Key(6));
+  EXPECT_EQ(got[3].first, Key(7));
+}
+
+TEST_F(IntegrationTest, MultiLtcRouting) {
+  ClusterOptions opt = FastOptions(2, 2);
+  opt.split_points = bench::EvenSplitPoints(1000, 4);  // 4 ranges, 2 LTCs
+  StartCluster(opt);
+  std::map<std::string, std::string> oracle;
+  for (int i = 0; i < 1000; i += 7) {
+    std::string key = Key(i);
+    ASSERT_TRUE(cluster_->Put(key, "v" + std::to_string(i)).ok());
+    oracle[key] = "v" + std::to_string(i);
+  }
+  for (const auto& [key, value] : oracle) {
+    std::string got;
+    ASSERT_TRUE(cluster_->Get(key, &got).ok()) << key;
+    EXPECT_EQ(got, value);
+  }
+  // A scan crossing a range boundary (read committed across ranges).
+  std::vector<std::pair<std::string, std::string>> got;
+  ASSERT_TRUE(cluster_->Scan(Key(245), 5, &got).ok());
+  EXPECT_EQ(got.size(), 5u);
+  EXPECT_EQ(got[0].first, Key(245));
+  EXPECT_EQ(got[1].first, Key(252));
+}
+
+TEST_F(IntegrationTest, ClientRoutesAndRefreshesConfig) {
+  ClusterOptions opt = FastOptions(2, 2);
+  opt.split_points = bench::EvenSplitPoints(1000, 2);
+  StartCluster(opt);
+  client::NovaClient client(cluster_.get());
+  ASSERT_TRUE(client.Put(Key(10), "a").ok());
+  ASSERT_TRUE(client.Put(Key(900), "b").ok());
+  std::string value;
+  ASSERT_TRUE(client.Get(Key(10), &value).ok());
+  EXPECT_EQ(value, "a");
+  // Migrate range 0 to LTC 1 and keep using the same client.
+  ASSERT_TRUE(cluster_->MigrateRange(0, 1, 2).ok());
+  ASSERT_TRUE(client.Get(Key(10), &value).ok());
+  EXPECT_EQ(value, "a");
+  ASSERT_TRUE(client.Put(Key(10), "a2").ok());
+  ASSERT_TRUE(client.Get(Key(10), &value).ok());
+  EXPECT_EQ(value, "a2");
+}
+
+TEST_F(IntegrationTest, MemtableMergeAvoidsFlushes) {
+  ClusterOptions opt = FastOptions(1, 2);
+  opt.range.unique_key_threshold = 50;
+  StartCluster(opt);
+  // Hammer a handful of keys: memtables fill with versions of few unique
+  // keys and must merge instead of flushing (Section 4.2).
+  for (int i = 0; i < 4000; i++) {
+    ASSERT_TRUE(cluster_->Put(Key(i % 5), "value-" + std::to_string(i)).ok());
+  }
+  auto* engine = cluster_->ltc(0)->ranges()[0];
+  engine->WaitForQuiescence();
+  auto stats = engine->stats();
+  EXPECT_GT(stats.memtable_merges, 0u);
+  // The latest values are still correct.
+  std::string value;
+  ASSERT_TRUE(cluster_->Get(Key(0), &value).ok());
+  EXPECT_TRUE(value.rfind("value-", 0) == 0);
+}
+
+TEST_F(IntegrationTest, LtcCrashRecoveryFromLogsAndManifest) {
+  ClusterOptions opt = FastOptions(2, 3);
+  opt.split_points = bench::EvenSplitPoints(1000, 2);
+  StartCluster(opt);
+  std::map<std::string, std::string> oracle;
+  Random rng(13);
+  for (int i = 0; i < 2500; i++) {
+    std::string key = Key(rng.Uniform(400));  // range 0 only
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(cluster_->Put(key, value).ok());
+    oracle[key] = value;
+  }
+  // Some data flushed, some still in memtables backed only by log records.
+  cluster_->KillLtc(0);
+  ASSERT_TRUE(cluster_->RecoverLtcRanges(0, 1, 4).ok());
+  for (const auto& [key, value] : oracle) {
+    std::string got;
+    Status s = cluster_->Get(key, &got);
+    ASSERT_TRUE(s.ok()) << key << " " << s.ToString();
+    EXPECT_EQ(got, value) << key;
+  }
+}
+
+TEST_F(IntegrationTest, RangeMigrationPreservesData) {
+  ClusterOptions opt = FastOptions(2, 3);
+  opt.split_points = bench::EvenSplitPoints(1000, 2);
+  StartCluster(opt);
+  std::map<std::string, std::string> oracle;
+  Random rng(14);
+  for (int i = 0; i < 2000; i++) {
+    std::string key = Key(rng.Uniform(400));
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(cluster_->Put(key, value).ok());
+    oracle[key] = value;
+  }
+  ASSERT_TRUE(cluster_->MigrateRange(0, 1, 4).ok());
+  for (const auto& [key, value] : oracle) {
+    std::string got;
+    ASSERT_TRUE(cluster_->Get(key, &got).ok()) << key;
+    EXPECT_EQ(got, value) << key;
+  }
+  // The migrated range keeps serving writes on the new LTC.
+  ASSERT_TRUE(cluster_->Put(Key(1), "after-migration").ok());
+  std::string got;
+  ASSERT_TRUE(cluster_->Get(Key(1), &got).ok());
+  EXPECT_EQ(got, "after-migration");
+}
+
+TEST_F(IntegrationTest, StocFailureWithReplicationKeepsReads) {
+  ClusterOptions opt = FastOptions(1, 3);
+  opt.placement.num_data_replicas = 2;
+  opt.placement.num_meta_replicas = 2;
+  StartCluster(opt);
+  std::map<std::string, std::string> oracle;
+  for (int i = 0; i < 1500; i++) {
+    std::string key = Key(i % 300);
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(cluster_->Put(key, value).ok());
+    oracle[key] = value;
+  }
+  auto* engine = cluster_->ltc(0)->ranges()[0];
+  engine->FlushAllMemtables();
+  engine->WaitForQuiescence(true);
+  cluster_->KillStoc(1);
+  for (const auto& [key, value] : oracle) {
+    std::string got;
+    Status s = cluster_->Get(key, &got);
+    ASSERT_TRUE(s.ok()) << key << " " << s.ToString();
+    EXPECT_EQ(got, value);
+  }
+}
+
+TEST_F(IntegrationTest, StocFailureWithParityReconstructs) {
+  ClusterOptions opt = FastOptions(1, 4);
+  opt.placement.rho = 3;
+  opt.placement.use_parity = true;
+  opt.placement.num_meta_replicas = 3;
+  StartCluster(opt);
+  std::map<std::string, std::string> oracle;
+  for (int i = 0; i < 1500; i++) {
+    std::string key = Key(i % 300);
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(cluster_->Put(key, value).ok());
+    oracle[key] = value;
+  }
+  auto* engine = cluster_->ltc(0)->ranges()[0];
+  engine->FlushAllMemtables();
+  engine->WaitForQuiescence(true);
+  // Evict cached readers so reads re-resolve through (possibly degraded)
+  // fragment fetches.
+  cluster_->KillStoc(2);
+  for (const auto& [key, value] : oracle) {
+    std::string got;
+    Status s = cluster_->Get(key, &got);
+    ASSERT_TRUE(s.ok()) << key << " " << s.ToString();
+    EXPECT_EQ(got, value);
+  }
+}
+
+TEST_F(IntegrationTest, OffloadedCompactionProducesSameData) {
+  ClusterOptions opt = FastOptions(1, 3);
+  opt.range.offload_compaction = true;
+  StartCluster(opt);
+  std::map<std::string, std::string> oracle;
+  Random rng(15);
+  for (int i = 0; i < 5000; i++) {
+    std::string key = Key(rng.Uniform(600));
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(cluster_->Put(key, value).ok());
+    oracle[key] = value;
+  }
+  auto* engine = cluster_->ltc(0)->ranges()[0];
+  engine->FlushAllMemtables();
+  engine->WaitForQuiescence(true);
+  EXPECT_GT(engine->stats().compactions, 0u);
+  for (const auto& [key, value] : oracle) {
+    std::string got;
+    ASSERT_TRUE(cluster_->Get(key, &got).ok()) << key;
+    EXPECT_EQ(got, value);
+  }
+}
+
+TEST_F(IntegrationTest, AddStocAndGracefulRemove) {
+  ClusterOptions opt = FastOptions(1, 2);
+  StartCluster(opt);
+  std::map<std::string, std::string> oracle;
+  for (int i = 0; i < 1200; i++) {
+    std::string key = Key(i % 250);
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(cluster_->Put(key, value).ok());
+    oracle[key] = value;
+  }
+  auto* engine = cluster_->ltc(0)->ranges()[0];
+  engine->FlushAllMemtables();
+  engine->WaitForQuiescence(true);
+
+  int added = cluster_->AddStoc();
+  EXPECT_EQ(added, 2);
+  // New writes may now land on the new StoC.
+  for (int i = 0; i < 1200; i++) {
+    std::string key = Key(300 + i % 250);
+    ASSERT_TRUE(cluster_->Put(key, "n" + std::to_string(i)).ok());
+    oracle[key] = "n" + std::to_string(i);
+  }
+  engine->FlushAllMemtables();
+  engine->WaitForQuiescence(true);
+
+  // Gracefully remove StoC 0: its blocks must be copied elsewhere first.
+  ASSERT_TRUE(cluster_->RemoveStocGraceful(0).ok());
+  for (const auto& [key, value] : oracle) {
+    std::string got;
+    Status s = cluster_->Get(key, &got);
+    ASSERT_TRUE(s.ok()) << key << " " << s.ToString();
+    EXPECT_EQ(got, value);
+  }
+}
+
+TEST_F(IntegrationTest, LeasesExpireAndRenew) {
+  StartCluster(FastOptions(1, 1));
+  auto* coordinator = cluster_->coordinator();
+  EXPECT_TRUE(coordinator->IsLeaseValid(coord::Cluster::LtcNode(0)));
+  EXPECT_TRUE(coordinator->Heartbeat(coord::Cluster::LtcNode(0)));
+  coordinator->ExpireLease(coord::Cluster::LtcNode(0));
+  EXPECT_FALSE(coordinator->IsLeaseValid(coord::Cluster::LtcNode(0)));
+  EXPECT_FALSE(coordinator->Heartbeat(coord::Cluster::LtcNode(0)));
+}
+
+TEST_F(IntegrationTest, SharedNothingPlacementRestrictsStocs) {
+  ClusterOptions opt = FastOptions(2, 2);
+  opt.split_points = bench::EvenSplitPoints(1000, 2);
+  StartCluster(opt);
+  baseline::MakeSharedNothing(cluster_.get());
+  for (int i = 0; i < 1500; i++) {
+    ASSERT_TRUE(cluster_->Put(Key(i % 400), std::string(200, 'x')).ok());
+  }
+  auto* engine = cluster_->ltc(0)->ranges()[0];
+  engine->FlushAllMemtables();
+  engine->WaitForQuiescence();
+  // Every SSTable block of range 0 lives on StoC 0.
+  lsm::VersionRef v = engine->versions()->current();
+  for (int level = 0; level < v->num_levels(); level++) {
+    for (const auto& f : v->files(level)) {
+      for (const auto& replicas : f->fragments) {
+        for (const auto& loc : replicas) {
+          EXPECT_EQ(loc.stoc_id, coord::Cluster::StocNode(0));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nova

@@ -1,0 +1,272 @@
+// Unit & property tests for the LSM metadata layer: file metadata and
+// version-edit serialization, version queries, compaction picking
+// (disjointness invariants under parameter sweeps), and placement.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "lsm/compaction.h"
+#include "lsm/file_meta.h"
+#include "lsm/table_io.h"
+#include "lsm/version.h"
+#include "util/random.h"
+
+namespace nova {
+namespace lsm {
+namespace {
+
+std::string Key(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%012llu",
+           static_cast<unsigned long long>(i));
+  return buf;
+}
+
+FileMetaData MakeFile(uint64_t number, uint64_t lo, uint64_t hi,
+                      int drange = -1) {
+  FileMetaData f;
+  f.number = number;
+  f.data_size = 1000;
+  f.smallest = InternalKey(Key(lo), 1, kTypeValue);
+  f.largest = InternalKey(Key(hi), 1, kTypeValue);
+  f.drange_id = drange;
+  f.fragments = {{BlockLocation{0, number * 10}}};
+  f.fragment_sizes = {1000};
+  f.meta_replicas = {BlockLocation{0, number * 10 + 1}};
+  return f;
+}
+
+TEST(FileMetaTest, EncodeDecodeRoundTrip) {
+  FileMetaData f = MakeFile(42, 100, 200, 3);
+  f.fragments = {{BlockLocation{1, 11}, BlockLocation{2, 22}},
+                 {BlockLocation{3, 33}}};
+  f.fragment_sizes = {600, 400};
+  f.meta_replicas = {BlockLocation{1, 44}, BlockLocation{2, 55}};
+  f.parity = BlockLocation{4, 66};
+  f.generation = 7;
+
+  std::string buf;
+  f.EncodeTo(&buf);
+  Slice in(buf);
+  FileMetaData g;
+  ASSERT_TRUE(g.DecodeFrom(&in).ok());
+  EXPECT_EQ(g.number, 42u);
+  EXPECT_EQ(g.drange_id, 3);
+  EXPECT_EQ(g.generation, 7u);
+  ASSERT_EQ(g.fragments.size(), 2u);
+  EXPECT_EQ(g.fragments[0][1].stoc_id, 2);
+  EXPECT_EQ(g.fragments[0][1].file_id, 22u);
+  EXPECT_EQ(g.fragment_sizes, f.fragment_sizes);
+  EXPECT_EQ(g.parity.stoc_id, 4);
+  EXPECT_EQ(g.smallest.user_key().ToString(), Key(100));
+}
+
+TEST(VersionEditTest, RoundTripWithDrangeState) {
+  VersionEdit edit;
+  edit.new_files.emplace_back(0, MakeFile(1, 0, 99));
+  edit.new_files.emplace_back(2, MakeFile(2, 100, 199));
+  edit.deleted_files.emplace_back(1, 77);
+  edit.drange_state = "opaque-drange-bytes";
+  std::string buf;
+  edit.EncodeTo(&buf);
+  VersionEdit out;
+  ASSERT_TRUE(out.DecodeFrom(buf).ok());
+  ASSERT_EQ(out.new_files.size(), 2u);
+  EXPECT_EQ(out.new_files[1].first, 2);
+  ASSERT_EQ(out.deleted_files.size(), 1u);
+  EXPECT_EQ(out.deleted_files[0].second, 77u);
+  EXPECT_EQ(out.drange_state, "opaque-drange-bytes");
+}
+
+TEST(VersionSetTest, ApplyAndRecover) {
+  LsmOptions opt;
+  std::vector<std::string> manifest;
+  VersionSet vs(opt, [&manifest](const Slice& rec) {
+    manifest.emplace_back(rec.data(), rec.size());
+    return Status::OK();
+  });
+
+  VersionEdit e1;
+  e1.new_files.emplace_back(0, MakeFile(1, 0, 99));
+  e1.new_files.emplace_back(0, MakeFile(2, 100, 199));
+  ASSERT_TRUE(vs.LogAndApply(&e1).ok());
+  VersionEdit e2;
+  e2.deleted_files.emplace_back(0, 1);
+  e2.new_files.emplace_back(1, MakeFile(3, 0, 99));
+  ASSERT_TRUE(vs.LogAndApply(&e2).ok());
+
+  VersionRef v = vs.current();
+  EXPECT_EQ(v->files(0).size(), 1u);
+  EXPECT_EQ(v->files(0)[0]->number, 2u);
+  EXPECT_EQ(v->files(1).size(), 1u);
+  EXPECT_EQ(vs.manifest_version(), 2u);
+
+  // Replay into a fresh VersionSet.
+  VersionSet vs2(opt, nullptr);
+  ASSERT_TRUE(vs2.Recover(manifest).ok());
+  VersionRef v2 = vs2.current();
+  EXPECT_EQ(v2->files(0).size(), 1u);
+  EXPECT_EQ(v2->files(0)[0]->number, 2u);
+  EXPECT_EQ(v2->files(1).size(), 1u);
+  EXPECT_EQ(vs2.manifest_version(), 2u);
+}
+
+TEST(VersionTest, FileForKeyBinarySearch) {
+  LsmOptions opt;
+  VersionSet vs(opt, nullptr);
+  VersionEdit e;
+  e.new_files.emplace_back(1, MakeFile(1, 0, 99));
+  e.new_files.emplace_back(1, MakeFile(2, 100, 199));
+  e.new_files.emplace_back(1, MakeFile(3, 300, 399));
+  ASSERT_TRUE(vs.LogAndApply(&e).ok());
+  VersionRef v = vs.current();
+  ASSERT_NE(v->FileForKey(1, Key(150)), nullptr);
+  EXPECT_EQ(v->FileForKey(1, Key(150))->number, 2u);
+  EXPECT_EQ(v->FileForKey(1, Key(0))->number, 1u);
+  EXPECT_EQ(v->FileForKey(1, Key(399))->number, 3u);
+  EXPECT_EQ(v->FileForKey(1, Key(250)), nullptr);  // gap
+  EXPECT_EQ(v->FileForKey(1, Key(999)), nullptr);  // past the end
+}
+
+TEST(VersionTest, OverlappingFiles) {
+  LsmOptions opt;
+  VersionSet vs(opt, nullptr);
+  VersionEdit e;
+  e.new_files.emplace_back(0, MakeFile(1, 0, 150));
+  e.new_files.emplace_back(0, MakeFile(2, 100, 250));
+  e.new_files.emplace_back(0, MakeFile(3, 300, 400));
+  ASSERT_TRUE(vs.LogAndApply(&e).ok());
+  VersionRef v = vs.current();
+  auto overlap = v->OverlappingFiles(0, Key(120), Key(140));
+  EXPECT_EQ(overlap.size(), 2u);
+  overlap = v->OverlappingFiles(0, Key(260), Key(290));
+  EXPECT_TRUE(overlap.empty());
+  overlap = v->OverlappingFiles(0, Key(0), "");  // unbounded above
+  EXPECT_EQ(overlap.size(), 3u);
+}
+
+/// Property: compaction jobs picked for any level are pairwise disjoint —
+/// no file (input or next-level) appears in two jobs.
+class CompactionPickerProperty : public testing::TestWithParam<int> {};
+
+TEST_P(CompactionPickerProperty, JobsAreDisjoint) {
+  int seed = GetParam();
+  Random rng(seed);
+  LsmOptions opt;
+  opt.l0_compaction_trigger_bytes = 1;  // always compact
+  VersionSet vs(opt, nullptr);
+  VersionEdit e;
+  uint64_t number = 1;
+  // L0: files produced by 4 "Dranges" (disjoint groups, overlapping
+  // within a group), plus some L1 files.
+  for (int d = 0; d < 4; d++) {
+    uint64_t lo = d * 1000;
+    for (int i = 0; i < 1 + static_cast<int>(rng.Uniform(4)); i++) {
+      uint64_t a = lo + rng.Uniform(400);
+      uint64_t b = a + 1 + rng.Uniform(400);
+      e.new_files.emplace_back(0, MakeFile(number++, a, std::min(b, lo + 999), d));
+    }
+  }
+  for (int i = 0; i < 6; i++) {
+    uint64_t a = i * 600;
+    e.new_files.emplace_back(1, MakeFile(number++, a, a + 550));
+  }
+  ASSERT_TRUE(vs.LogAndApply(&e).ok());
+
+  auto jobs = CompactionPicker::Pick(vs, vs.current(), 16);
+  ASSERT_FALSE(jobs.empty());
+  std::set<uint64_t> seen;
+  for (const auto& job : jobs) {
+    for (const auto& f : job.inputs) {
+      EXPECT_TRUE(seen.insert(f->number).second)
+          << "file " << f->number << " in two jobs";
+    }
+    for (const auto& f : job.inputs_next) {
+      EXPECT_TRUE(seen.insert(f->number).second)
+          << "file " << f->number << " in two jobs";
+    }
+    // Within a job, every next-level file overlaps some input.
+    for (const auto& nf : job.inputs_next) {
+      bool overlaps_any = false;
+      for (const auto& f : job.inputs) {
+        if (f->smallest.user_key().compare(nf->largest.user_key()) <= 0 &&
+            nf->smallest.user_key().compare(f->largest.user_key()) <= 0) {
+          overlaps_any = true;
+        }
+      }
+      EXPECT_TRUE(overlaps_any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompactionPickerProperty,
+                         testing::Range(1, 12));
+
+TEST(CompactionPickerTest, PicksMostOversizedLevel) {
+  LsmOptions opt;
+  opt.l0_compaction_trigger_bytes = 100000;  // L0 fine
+  opt.base_level_bytes = 500;                // L1 hugely oversized
+  VersionSet vs(opt, nullptr);
+  VersionEdit e;
+  e.new_files.emplace_back(1, MakeFile(1, 0, 99));
+  e.new_files.emplace_back(1, MakeFile(2, 100, 199));
+  e.new_files.emplace_back(2, MakeFile(3, 0, 500));
+  ASSERT_TRUE(vs.LogAndApply(&e).ok());
+  auto jobs = CompactionPicker::Pick(vs, vs.current(), 4);
+  ASSERT_FALSE(jobs.empty());
+  EXPECT_EQ(jobs[0].input_level, 1);
+  EXPECT_EQ(jobs[0].output_level, 2);
+}
+
+TEST(CompactionPickerTest, NothingToDoWhenUnderLimits) {
+  LsmOptions opt;
+  VersionSet vs(opt, nullptr);
+  VersionEdit e;
+  e.new_files.emplace_back(0, MakeFile(1, 0, 99));
+  ASSERT_TRUE(vs.LogAndApply(&e).ok());
+  auto jobs = CompactionPicker::Pick(vs, vs.current(), 4);
+  EXPECT_TRUE(jobs.empty());  // 1000 bytes < trigger
+}
+
+TEST(CompactionJobTest, SerializeRoundTrip) {
+  CompactionJob job;
+  job.input_level = 0;
+  job.output_level = 1;
+  job.inputs.push_back(std::make_shared<FileMetaData>(MakeFile(1, 0, 99)));
+  job.inputs_next.push_back(
+      std::make_shared<FileMetaData>(MakeFile(2, 50, 150)));
+  job.boundaries = {Key(50), Key(90)};
+  job.max_output_bytes = 12345;
+  job.is_last_level = true;
+  job.first_output_number = 77;
+
+  CompactionJob out;
+  ASSERT_TRUE(out.Deserialize(job.Serialize()).ok());
+  EXPECT_EQ(out.input_level, 0);
+  EXPECT_EQ(out.output_level, 1);
+  ASSERT_EQ(out.inputs.size(), 1u);
+  EXPECT_EQ(out.inputs[0]->number, 1u);
+  EXPECT_EQ(out.boundaries, job.boundaries);
+  EXPECT_EQ(out.max_output_bytes, 12345u);
+  EXPECT_TRUE(out.is_last_level);
+  EXPECT_EQ(out.first_output_number, 77u);
+}
+
+TEST(CompactionResultTest, SerializeRoundTrip) {
+  CompactionResult result;
+  result.outputs.push_back(MakeFile(9, 0, 50));
+  result.records_in = 100;
+  result.records_out = 80;
+  CompactionResult out;
+  ASSERT_TRUE(out.Deserialize(result.Serialize()).ok());
+  ASSERT_EQ(out.outputs.size(), 1u);
+  EXPECT_EQ(out.outputs[0].number, 9u);
+  EXPECT_EQ(out.records_in, 100u);
+  EXPECT_EQ(out.records_out, 80u);
+}
+
+}  // namespace
+}  // namespace lsm
+}  // namespace nova
