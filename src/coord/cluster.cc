@@ -508,18 +508,7 @@ ltc::RangeStats Cluster::TotalStats() {
     if (!ltc_alive_[i]) {
       continue;
     }
-    ltc::RangeStats s = ltcs_[i]->TotalStats();
-    total.puts += s.puts;
-    total.gets += s.gets;
-    total.scans += s.scans;
-    total.stall_us += s.stall_us;
-    total.stall_events += s.stall_events;
-    total.flushes += s.flushes;
-    total.memtable_merges += s.memtable_merges;
-    total.compactions += s.compactions;
-    total.bytes_flushed += s.bytes_flushed;
-    total.lookup_index_hits += s.lookup_index_hits;
-    total.lookup_index_misses += s.lookup_index_misses;
+    total += ltcs_[i]->TotalStats();
   }
   return total;
 }

@@ -280,7 +280,10 @@ Status CompactionExecutor::Run(const CompactionJob& job,
         return s;
       }
       pins.push_back(handle);
-      children.push_back(handle.reader->NewIterator());
+      // Stream, don't cache: a compaction reads every input block exactly
+      // once and then deletes the file — filling the block cache would
+      // evict the hot read-path working set for nothing.
+      children.push_back(handle.reader->NewIterator(/*fill_cache=*/false));
     }
     return Status::OK();
   };

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "stoc/stoc_common.h"
+#include "util/coding.h"
 #include "util/logging.h"
 
 namespace nova {
@@ -76,54 +77,115 @@ Status StocBlockFetcher::Fetch(int fragment, uint64_t offset, uint64_t size,
   return Status::OK();
 }
 
+/// One open reader, stored as a cache entry under the file's 12-byte
+/// (range, file) key — the prefix of its data blocks' keys.
+struct TableCache::Entry {
+  std::unique_ptr<StocBlockFetcher> fetcher;
+  std::unique_ptr<SSTableReader> reader;
+  std::shared_ptr<std::atomic<size_t>> live_readers;
+
+  ~Entry() {
+    if (live_readers != nullptr) {
+      live_readers->fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+void TableCache::DeleteEntry(const Slice& /*key*/, void* value) {
+  delete static_cast<Entry*>(value);
+}
+
+TableCache::TableCache(stoc::StocClient* client, Cache* cache,
+                       uint32_t range_id, bool cache_data_blocks)
+    : client_(client),
+      live_readers_(std::make_shared<std::atomic<size_t>>(0)),
+      range_id_(range_id),
+      cache_data_blocks_(cache_data_blocks) {
+  if (cache == nullptr) {
+    owned_cache_.reset(NewShardedLRUCache(kDefaultReaderCacheBytes));
+    cache = owned_cache_.get();
+  }
+  cache_ = cache;
+}
+
+TableCache::~TableCache() {
+  if (owned_cache_ == nullptr) {
+    // Shared cache outlives us: drop this range's readers and blocks so a
+    // departed range does not squat on the node-wide charge budget.
+    std::string range_prefix;
+    PutFixed32(&range_prefix, range_id_);
+    cache_->EraseWithPrefix(range_prefix);
+  }
+}
+
 Status TableCache::GetReader(const FileMetaRef& meta, Handle* handle) {
-  {
-    std::lock_guard<std::mutex> l(mu_);
-    auto it = cache_.find(meta->number);
-    if (it != cache_.end()) {
-      handle->pin = it->second;
-      handle->reader = it->second->reader.get();
-      return Status::OK();
+  std::string key = BlockCachePrefix(range_id_, meta->number);
+  Cache::Handle* h = cache_->Lookup(key, /*count=*/false);
+  if (h == nullptr) {
+    // Fetch the metadata block from any replica (power-of-d would also
+    // work; replicas are equivalent). Concurrent misses on the same file
+    // may both open it; the loser's entry is displaced and reclaimed once
+    // its pins drop.
+    std::string encoded;
+    Status s = Status::Unavailable("no metadata replicas");
+    for (const BlockLocation& loc : meta->meta_replicas) {
+      s = client_->ReadBlock(loc.stoc_id, loc.file_id, 0, 0, &encoded);
+      if (s.ok()) {
+        break;
+      }
     }
-  }
-  // Fetch the metadata block from any replica (power-of-d would also work;
-  // replicas are equivalent).
-  std::string encoded;
-  Status s = Status::Unavailable("no metadata replicas");
-  for (const BlockLocation& loc : meta->meta_replicas) {
-    s = client_->ReadBlock(loc.stoc_id, loc.file_id, 0, 0, &encoded);
-    if (s.ok()) {
-      break;
+    if (!s.ok()) {
+      return s;
     }
+    SSTableMetadata table_meta;
+    s = table_meta.DecodeFrom(encoded);
+    if (!s.ok()) {
+      return s;
+    }
+    auto* entry = new Entry;
+    entry->fetcher = std::make_unique<StocBlockFetcher>(client_, meta);
+    entry->reader = std::make_unique<SSTableReader>(
+        std::move(table_meta), entry->fetcher.get(),
+        cache_data_blocks_ ? cache_ : nullptr, range_id_);
+    entry->live_readers = live_readers_;
+    live_readers_->fetch_add(1, std::memory_order_relaxed);
+    size_t charge = sizeof(Entry) + sizeof(SSTableReader) +
+                    entry->reader->meta().index_contents.size() +
+                    entry->reader->meta().bloom.size();
+    h = cache_->Insert(key, entry, charge, &DeleteEntry);
   }
-  if (!s.ok()) {
-    return s;
-  }
-  SSTableMetadata table_meta;
-  s = table_meta.DecodeFrom(encoded);
-  if (!s.ok()) {
-    return s;
-  }
-  auto entry = std::make_shared<Entry>();
-  entry->fetcher = std::make_unique<StocBlockFetcher>(client_, meta);
-  entry->reader =
-      std::make_unique<SSTableReader>(std::move(table_meta),
-                                      entry->fetcher.get());
-  std::lock_guard<std::mutex> l(mu_);
-  auto [it, inserted] = cache_.emplace(meta->number, std::move(entry));
-  handle->pin = it->second;
-  handle->reader = it->second->reader.get();
+  auto* entry = static_cast<Entry*>(cache_->Value(h));
+  Cache* cache = cache_;
+  handle->pin = std::shared_ptr<void>(
+      static_cast<void*>(entry), [cache, h](void*) { cache->Release(h); });
+  handle->reader = entry->reader.get();
   return Status::OK();
 }
 
 void TableCache::Evict(uint64_t number) {
-  std::lock_guard<std::mutex> l(mu_);
-  cache_.erase(number);
+  // The reader entry and all of the file's data blocks share this prefix.
+  cache_->EraseWithPrefix(BlockCachePrefix(range_id_, number));
+}
+
+void TableCache::EvictBatch(const std::vector<uint64_t>& numbers) {
+  if (numbers.empty()) {
+    return;
+  }
+  std::set<uint64_t> dead(numbers.begin(), numbers.end());
+  std::string range_prefix;
+  PutFixed32(&range_prefix, range_id_);
+  // The match runs per resident entry under the shard lock: decode the
+  // file number in place rather than allocating a prefix string.
+  cache_->EraseMatching([&](const Slice& key) {
+    return key.size() >= range_prefix.size() + 8 &&
+           memcmp(key.data(), range_prefix.data(), range_prefix.size()) ==
+               0 &&
+           dead.count(DecodeFixed64(key.data() + range_prefix.size())) > 0;
+  });
 }
 
 size_t TableCache::size() const {
-  std::lock_guard<std::mutex> l(mu_);
-  return cache_.size();
+  return live_readers_->load(std::memory_order_relaxed);
 }
 
 SSTablePlacer::SSTablePlacer(stoc::StocClient* client,

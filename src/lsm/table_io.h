@@ -5,7 +5,11 @@
 //    Hybrid availability, Sections 3.1/4.4.1).
 //  * TableCache — LTC-side cache of SSTableMetadata (index + bloom) and
 //    open readers, keyed by file number (Section 4.1.1: "LTC caches them
-//    in its memory").
+//    in its memory"). Readers live in a sharded, charge-bounded LRU
+//    (util/cache.h) — optionally the same instance that caches data
+//    blocks — so concurrent gets on different files do not serialize on
+//    one mutex and open readers are evicted under memory pressure instead
+//    of accumulating forever.
 //  * SSTablePlacer — decides ρ from the SSTable's size, picks StoCs by
 //    random or power-of-d on disk-queue length, writes the ρ fragments in
 //    parallel with R replicas each, an optional parity block, and
@@ -13,7 +17,7 @@
 #ifndef NOVA_LSM_TABLE_IO_H_
 #define NOVA_LSM_TABLE_IO_H_
 
-#include <map>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -22,6 +26,7 @@
 #include "sstable/sstable_builder.h"
 #include "sstable/sstable_reader.h"
 #include "stoc/stoc_client.h"
+#include "util/cache.h"
 #include "util/random.h"
 
 namespace nova {
@@ -50,7 +55,18 @@ class StocBlockFetcher : public BlockFetcher {
 
 class TableCache {
  public:
-  explicit TableCache(stoc::StocClient* client) : client_(client) {}
+  /// Capacity of the private reader cache created when no shared cache is
+  /// given (readers are small: metadata only).
+  static constexpr size_t kDefaultReaderCacheBytes = 64 << 20;
+
+  /// cache (optional): the sharded LRU backing the reader entries — at an
+  /// LTC, the node-wide block cache, so readers and data blocks share one
+  /// charge budget. When null, a private reader-only cache is created.
+  /// cache_data_blocks: opened readers also consult `cache` for data
+  /// blocks in ReadBlock (the StoC read-path block cache).
+  explicit TableCache(stoc::StocClient* client, Cache* cache = nullptr,
+                      uint32_t range_id = 0, bool cache_data_blocks = false);
+  ~TableCache();
 
   /// A pinned reader: keeps the underlying reader (and its fetcher) alive
   /// even if the entry is evicted concurrently (e.g., by a compaction
@@ -63,18 +79,27 @@ class TableCache {
   /// Returns a cached (or freshly opened) pinned reader for the file.
   Status GetReader(const FileMetaRef& meta, Handle* handle);
 
+  /// Drop the file's reader and every cached data block of the file
+  /// (compaction apply / file deletion invalidate through this).
   void Evict(uint64_t number);
+  /// Same for many files in one cache sweep (a compaction retires all of
+  /// its inputs at once; per-file sweeps of a large cache add up).
+  void EvictBatch(const std::vector<uint64_t>& numbers);
+  /// Resident (not yet reclaimed) reader entries opened by this cache.
   size_t size() const;
 
+  Cache* cache() { return cache_; }
+
  private:
-  struct Entry {
-    std::unique_ptr<StocBlockFetcher> fetcher;
-    std::unique_ptr<SSTableReader> reader;
-  };
+  struct Entry;
+  static void DeleteEntry(const Slice& key, void* value);
 
   stoc::StocClient* client_;
-  mutable std::mutex mu_;
-  std::map<uint64_t, std::shared_ptr<Entry>> cache_;
+  std::shared_ptr<std::atomic<size_t>> live_readers_;
+  std::unique_ptr<Cache> owned_cache_;
+  Cache* cache_;
+  uint32_t range_id_;
+  bool cache_data_blocks_;
 };
 
 struct PlacementOptions {

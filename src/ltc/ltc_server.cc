@@ -14,6 +14,9 @@ LtcServer::LtcServer(rdma::RdmaFabric* fabric,
   endpoint_->set_request_handler(
       [](rdma::NodeId, uint64_t, const Slice&) {});
   stoc_client_ = std::make_unique<stoc::StocClient>(endpoint_.get());
+  if (options_.block_cache_bytes > 0) {
+    block_cache_.reset(NewShardedLRUCache(options_.block_cache_bytes));
+  }
   flush_pool_ = std::make_unique<ThreadPool>("ltc-flush",
                                              options_.num_flush_threads);
   compaction_pool_ = std::make_unique<ThreadPool>(
@@ -68,7 +71,7 @@ RangeEngine* LtcServer::AddRangeForRecovery(
     const std::vector<rdma::NodeId>& stocs) {
   auto engine = std::make_unique<RangeEngine>(
       options, stoc_client_.get(), stocs, throttle_.get(),
-      flush_pool_.get(), compaction_pool_.get());
+      flush_pool_.get(), compaction_pool_.get(), block_cache_.get());
   RangeEngine* ptr = engine.get();
   std::lock_guard<std::mutex> l(mu_);
   ranges_[options.range_id] = std::move(engine);
@@ -168,18 +171,14 @@ Status LtcServer::Scan(
 RangeStats LtcServer::TotalStats() {
   RangeStats total;
   for (RangeEngine* engine : ranges()) {
-    RangeStats s = engine->stats();
-    total.puts += s.puts;
-    total.gets += s.gets;
-    total.scans += s.scans;
-    total.stall_us += s.stall_us;
-    total.stall_events += s.stall_events;
-    total.flushes += s.flushes;
-    total.memtable_merges += s.memtable_merges;
-    total.compactions += s.compactions;
-    total.bytes_flushed += s.bytes_flushed;
-    total.lookup_index_hits += s.lookup_index_hits;
-    total.lookup_index_misses += s.lookup_index_misses;
+    total += engine->stats();
+  }
+  if (block_cache_ != nullptr) {
+    // Ranges sharing the node cache report zero above (see RangeStats);
+    // the shared cache is accounted once here.
+    total.block_cache_hits += block_cache_->hits();
+    total.block_cache_misses += block_cache_->misses();
+    total.block_cache_bytes += block_cache_->TotalCharge();
   }
   return total;
 }

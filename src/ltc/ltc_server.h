@@ -30,6 +30,9 @@ struct LtcServerOptions {
   int num_flush_threads = 4;
   int num_compaction_threads = 4;
   int maintenance_interval_us = 1000;
+  /// One data-block cache shared by all ranges on this LTC (StoC read
+  /// path, charge-bounded sharded LRU). 0 = no data-block caching.
+  size_t block_cache_bytes = 0;
 };
 
 class LtcServer {
@@ -72,6 +75,8 @@ class LtcServer {
   rdma::RpcEndpoint* endpoint() { return endpoint_.get(); }
   ThreadPool* flush_pool() { return flush_pool_.get(); }
   ThreadPool* compaction_pool() { return compaction_pool_.get(); }
+  /// Node-wide data-block cache (nullptr when block_cache_bytes == 0).
+  Cache* block_cache() { return block_cache_.get(); }
 
   /// Aggregate stats over all ranges.
   RangeStats TotalStats();
@@ -84,6 +89,7 @@ class LtcServer {
   std::unique_ptr<sim::CpuThrottle> throttle_;
   std::unique_ptr<rdma::RpcEndpoint> endpoint_;
   std::unique_ptr<stoc::StocClient> stoc_client_;
+  std::unique_ptr<Cache> block_cache_;
   std::unique_ptr<ThreadPool> flush_pool_;
   std::unique_ptr<ThreadPool> compaction_pool_;
 

@@ -28,7 +28,7 @@ RangeEngine::RangeEngine(const RangeEngineOptions& options,
                          stoc::StocClient* client,
                          const std::vector<rdma::NodeId>& stocs,
                          sim::CpuThrottle* throttle, ThreadPool* flush_pool,
-                         ThreadPool* compaction_pool)
+                         ThreadPool* compaction_pool, Cache* block_cache)
     : options_(options),
       client_(client),
       stocs_(stocs),
@@ -43,7 +43,14 @@ RangeEngine::RangeEngine(const RangeEngineOptions& options,
       options_.lsm, [this](const Slice& record) {
         return ManifestAppend(record);
       });
-  table_cache_ = std::make_unique<lsm::TableCache>(client_);
+  if (block_cache == nullptr && options_.block_cache_bytes > 0) {
+    owned_block_cache_.reset(NewShardedLRUCache(options_.block_cache_bytes));
+    block_cache = owned_block_cache_.get();
+  }
+  block_cache_ = block_cache;
+  table_cache_ = std::make_unique<lsm::TableCache>(
+      client_, block_cache_, options_.range_id,
+      /*cache_data_blocks=*/block_cache_ != nullptr);
   lsm::PlacementOptions popt;
   popt.stocs = stocs;
   popt.range_id = options_.range_id;
@@ -1128,15 +1135,20 @@ void RangeEngine::ApplyCompactionResult(const lsm::CompactionJob& job,
       range_index_->RemoveL0File(f->number);
     }
   }
-  // Retire the inputs: cache entries and StoC blocks.
-  auto retire = [this](const std::vector<lsm::FileMetaRef>& files) {
-    for (const auto& f : files) {
-      table_cache_->Evict(f->number);
+  // Retire the inputs: delete the StoC blocks first, then drop cache
+  // entries in one sweep for all dead files. Sweeping after the deletes
+  // closes (almost all of) the window where an in-flight read of the old
+  // version re-inserts a dead file's block that nothing would invalidate
+  // again; dead entries are otherwise unreachable and would squat on the
+  // charge budget until LRU churn reached them.
+  std::vector<uint64_t> dead;
+  for (const auto* files : {&job.inputs, &job.inputs_next}) {
+    for (const auto& f : *files) {
+      dead.push_back(f->number);
       DeleteFileBlocks(*f);
     }
-  };
-  retire(job.inputs);
-  retire(job.inputs_next);
+  }
+  table_cache_->EvictBatch(dead);
   {
     std::lock_guard<std::mutex> l(stats_mu_);
     stats_.compactions++;
@@ -1431,8 +1443,18 @@ void RangeEngine::WaitForQuiescence(bool flush_all) {
 }
 
 RangeStats RangeEngine::stats() const {
-  std::lock_guard<std::mutex> l(stats_mu_);
-  return stats_;
+  RangeStats out;
+  {
+    std::lock_guard<std::mutex> l(stats_mu_);
+    out = stats_;
+  }
+  if (owned_block_cache_ != nullptr) {
+    // Shared caches are reported once at the LtcServer level instead.
+    out.block_cache_hits = owned_block_cache_->hits();
+    out.block_cache_misses = owned_block_cache_->misses();
+    out.block_cache_bytes = owned_block_cache_->TotalCharge();
+  }
+  return out;
 }
 
 bool RangeEngine::IsFileNumberLive(uint64_t number) {

@@ -66,6 +66,12 @@ struct RangeEngineOptions {
 
   lsm::LsmOptions lsm;
   logc::LogOptions log;
+  /// Data-block cache budget for the StoC read path when this engine runs
+  /// standalone (no cache passed to the constructor). 0 = no data-block
+  /// caching, every read fetches from a StoC. Engines hosted by an
+  /// LtcServer normally share one node-wide cache instead
+  /// (LtcServerOptions::block_cache_bytes).
+  size_t block_cache_bytes = 0;
   uint64_t max_sstable_size = 512 << 10;
   int max_parallel_compactions = 4;
   /// Offload compaction jobs to StoCs round-robin (Section 4.3).
@@ -86,16 +92,45 @@ struct RangeStats {
   uint64_t bytes_flushed = 0;
   uint64_t lookup_index_hits = 0;
   uint64_t lookup_index_misses = 0;
+  /// Data-block cache counters. Filled from the engine's privately owned
+  /// cache; when ranges share an LTC-wide cache the per-range numbers stay
+  /// zero and LtcServer::TotalStats() reports the shared cache once.
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
+  uint64_t block_cache_bytes = 0;
+
+  /// The single roll-up used by LtcServer and Cluster TotalStats — new
+  /// fields only need to be added here.
+  RangeStats& operator+=(const RangeStats& o) {
+    puts += o.puts;
+    gets += o.gets;
+    scans += o.scans;
+    stall_us += o.stall_us;
+    stall_events += o.stall_events;
+    flushes += o.flushes;
+    memtable_merges += o.memtable_merges;
+    compactions += o.compactions;
+    bytes_flushed += o.bytes_flushed;
+    lookup_index_hits += o.lookup_index_hits;
+    lookup_index_misses += o.lookup_index_misses;
+    block_cache_hits += o.block_cache_hits;
+    block_cache_misses += o.block_cache_misses;
+    block_cache_bytes += o.block_cache_bytes;
+    return *this;
+  }
 };
 
 class RangeEngine {
  public:
   /// stocs: the StoCs this range may use (log files, manifest, SSTables —
   /// the placer's list governs SSTable placement and may differ).
+  /// block_cache (optional): node-wide data-block cache shared by every
+  /// range on the LTC; when null and options.block_cache_bytes > 0 the
+  /// engine creates a private one.
   RangeEngine(const RangeEngineOptions& options, stoc::StocClient* client,
               const std::vector<rdma::NodeId>& stocs,
               sim::CpuThrottle* throttle, ThreadPool* flush_pool,
-              ThreadPool* compaction_pool);
+              ThreadPool* compaction_pool, Cache* block_cache = nullptr);
   ~RangeEngine();
 
   RangeEngine(const RangeEngine&) = delete;
@@ -145,6 +180,7 @@ class RangeEngine {
   DrangeManager* dranges() { return drange_.get(); }
   lsm::VersionSet* versions() { return versions_.get(); }
   lsm::TableCache* table_cache() { return table_cache_.get(); }
+  Cache* block_cache() { return block_cache_; }
   /// True if the current version references this SSTable number.
   bool IsFileNumberLive(uint64_t number);
   LookupIndex* lookup_index() { return &lookup_index_; }
@@ -201,6 +237,8 @@ class RangeEngine {
   InternalKeyComparator icmp_;
   std::unique_ptr<DrangeManager> drange_;
   std::unique_ptr<lsm::VersionSet> versions_;
+  std::unique_ptr<Cache> owned_block_cache_;
+  Cache* block_cache_ = nullptr;
   std::unique_ptr<lsm::TableCache> table_cache_;
   std::unique_ptr<lsm::SSTablePlacer> placer_;
   std::unique_ptr<lsm::CompactionExecutor> executor_;

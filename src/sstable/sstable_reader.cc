@@ -1,11 +1,46 @@
 #include "sstable/sstable_reader.h"
 
 #include "sstable/bloom.h"
+#include "util/coding.h"
 
 namespace nova {
 
-SSTableReader::SSTableReader(SSTableMetadata meta, BlockFetcher* fetcher)
-    : meta_(std::move(meta)), fetcher_(fetcher) {
+namespace {
+
+void DeleteCachedBlock(const Slice& /*key*/, void* value) {
+  delete static_cast<Block*>(value);
+}
+
+/// A shared_ptr that releases the cache pin (not the block) when dropped;
+/// the cache's deleter frees the block once it is evicted and unpinned.
+std::shared_ptr<Block> PinnedBlock(Cache* cache, Cache::Handle* handle) {
+  Block* block = static_cast<Block*>(cache->Value(handle));
+  return std::shared_ptr<Block>(
+      block, [cache, handle](Block*) { cache->Release(handle); });
+}
+
+}  // namespace
+
+std::string BlockCachePrefix(uint32_t range_id, uint64_t file_number) {
+  std::string key;
+  PutFixed32(&key, range_id);
+  PutFixed64(&key, file_number);
+  return key;
+}
+
+std::string BlockCacheKey(uint32_t range_id, uint64_t file_number,
+                          uint64_t offset) {
+  std::string key = BlockCachePrefix(range_id, file_number);
+  PutFixed64(&key, offset);
+  return key;
+}
+
+SSTableReader::SSTableReader(SSTableMetadata meta, BlockFetcher* fetcher,
+                             Cache* block_cache, uint32_t range_id)
+    : meta_(std::move(meta)),
+      fetcher_(fetcher),
+      block_cache_(block_cache),
+      range_id_(range_id) {
   index_block_ = std::make_unique<Block>(meta_.index_contents);
 }
 
@@ -17,7 +52,19 @@ bool SSTableReader::KeyMayMatch(const Slice& user_key) const {
 }
 
 Status SSTableReader::ReadBlock(const BlockHandle& handle,
-                                std::unique_ptr<Block>* block) const {
+                                std::shared_ptr<Block>* block,
+                                bool fill_cache) const {
+  std::string cache_key;
+  if (block_cache_ != nullptr) {
+    cache_key = BlockCacheKey(range_id_, meta_.file_number, handle.offset);
+    // Compaction streams (fill_cache=false) stay out of the hit/miss
+    // stats: they are one-shot reads, not read-path traffic.
+    Cache::Handle* h = block_cache_->Lookup(cache_key, /*count=*/fill_cache);
+    if (h != nullptr) {
+      *block = PinnedBlock(block_cache_, h);
+      return Status::OK();
+    }
+  }
   int fragment;
   uint64_t local_offset;
   if (!meta_.Locate(handle.offset, &fragment, &local_offset)) {
@@ -31,7 +78,14 @@ Status SSTableReader::ReadBlock(const BlockHandle& handle,
   if (contents.size() != handle.size) {
     return Status::Corruption("short block read");
   }
-  *block = std::make_unique<Block>(std::move(contents));
+  if (block_cache_ != nullptr && fill_cache) {
+    auto* b = new Block(std::move(contents));
+    Cache::Handle* h = block_cache_->Insert(
+        cache_key, b, b->size() + sizeof(Block), &DeleteCachedBlock);
+    *block = PinnedBlock(block_cache_, h);
+  } else {
+    *block = std::make_shared<Block>(std::move(contents));
+  }
   return Status::OK();
 }
 
@@ -52,7 +106,7 @@ bool SSTableReader::Get(const LookupKey& lookup_key, std::string* value,
     *s = hs;
     return true;  // surfaced as an error, not silently missing
   }
-  std::unique_ptr<Block> block;
+  std::shared_ptr<Block> block;
   Status bs = ReadBlock(handle, &block);
   if (!bs.ok()) {
     *s = bs;
@@ -86,17 +140,16 @@ bool SSTableReader::Get(const LookupKey& lookup_key, std::string* value,
 namespace {
 
 /// Two-level iterator: walks the index block; materializes one data block
-/// at a time through the fetcher.
+/// at a time through the reader (which consults the block cache first).
 class SSTableIterator : public Iterator {
  public:
-  SSTableIterator(const SSTableReader* reader, const SSTableMetadata* meta,
-                  BlockFetcher* fetcher, const InternalKeyComparator* icmp,
-                  Iterator* index_iter)
+  SSTableIterator(const SSTableReader* reader,
+                  const InternalKeyComparator* icmp, Iterator* index_iter,
+                  bool fill_cache)
       : reader_(reader),
-        meta_(meta),
-        fetcher_(fetcher),
         icmp_(icmp),
-        index_iter_(index_iter) {}
+        index_iter_(index_iter),
+        fill_cache_(fill_cache) {}
 
   bool Valid() const override {
     return block_iter_ != nullptr && block_iter_->Valid();
@@ -157,19 +210,11 @@ class SSTableIterator : public Iterator {
       status_ = s;
       return;
     }
-    int fragment;
-    uint64_t local_offset;
-    if (!meta_->Locate(handle.offset, &fragment, &local_offset)) {
-      status_ = Status::Corruption("block offset outside fragment map");
-      return;
-    }
-    std::string contents;
-    s = fetcher_->Fetch(fragment, local_offset, handle.size, &contents);
+    s = reader_->ReadBlock(handle, &block_, fill_cache_);
     if (!s.ok()) {
       status_ = s;
       return;
     }
-    block_ = std::make_unique<Block>(std::move(contents));
     block_iter_.reset(block_->NewIterator(icmp_));
   }
 
@@ -201,21 +246,20 @@ class SSTableIterator : public Iterator {
     }
   }
 
-  [[maybe_unused]] const SSTableReader* reader_;
-  const SSTableMetadata* meta_;
-  BlockFetcher* fetcher_;
+  const SSTableReader* reader_;
   const InternalKeyComparator* icmp_;
   std::unique_ptr<Iterator> index_iter_;
-  std::unique_ptr<Block> block_;
+  std::shared_ptr<Block> block_;  // pins the cached entry while in use
   std::unique_ptr<Iterator> block_iter_;
+  bool fill_cache_;
   Status status_;
 };
 
 }  // namespace
 
-Iterator* SSTableReader::NewIterator() const {
-  return new SSTableIterator(this, &meta_, fetcher_, &icmp_,
-                             index_block_->NewIterator(&icmp_));
+Iterator* SSTableReader::NewIterator(bool fill_cache) const {
+  return new SSTableIterator(this, &icmp_, index_block_->NewIterator(&icmp_),
+                             fill_cache);
 }
 
 }  // namespace nova

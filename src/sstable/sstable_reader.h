@@ -1,7 +1,9 @@
 // Reads one SSTable through a BlockFetcher. The metadata (index + bloom)
-// is memory-resident — the LTC caches it (paper Section 4.1.1) — so a get
-// costs at most one fragment fetch, and none when the bloom filter rules
-// the key out.
+// is memory-resident — the LTC caches it (paper Section 4.1.1) — and data
+// blocks are optionally served from a shared charge-based LRU block cache
+// (keyed by range/file number/block offset), so a warm get costs no
+// fragment fetch at all; a cold one costs at most one, and none when the
+// bloom filter rules the key out.
 #ifndef NOVA_SSTABLE_SSTABLE_READER_H_
 #define NOVA_SSTABLE_SSTABLE_READER_H_
 
@@ -11,14 +13,29 @@
 #include "mem/dbformat.h"
 #include "sstable/block.h"
 #include "sstable/format.h"
+#include "util/cache.h"
 #include "util/iterator.h"
 
 namespace nova {
 
+/// Cache key for one data block: range id, file number, global offset.
+/// TableCache's reader entries use the 12-byte (range, file) prefix of the
+/// same layout, so EraseWithPrefix(BlockCachePrefix(...)) invalidates a
+/// dead file's reader and every cached block in one sweep.
+std::string BlockCachePrefix(uint32_t range_id, uint64_t file_number);
+std::string BlockCacheKey(uint32_t range_id, uint64_t file_number,
+                          uint64_t offset);
+
 class SSTableReader {
  public:
   /// fetcher must outlive the reader and any iterator it creates.
-  SSTableReader(SSTableMetadata meta, BlockFetcher* fetcher);
+  /// block_cache (optional, shared across readers and ranges; keyed by
+  /// range_id so per-range file numbers cannot collide) serves repeated
+  /// data-block reads from LTC memory instead of StoC round-trips; it must
+  /// outlive the reader and any iterator. With a null cache every
+  /// ReadBlock fetches from the StoC, as before.
+  SSTableReader(SSTableMetadata meta, BlockFetcher* fetcher,
+                Cache* block_cache = nullptr, uint32_t range_id = 0);
 
   /// True if the bloom filter admits the key (or there is no filter).
   bool KeyMayMatch(const Slice& user_key) const;
@@ -29,17 +46,25 @@ class SSTableReader {
   bool Get(const LookupKey& lookup_key, std::string* value, Status* s,
            SequenceNumber* seq = nullptr);
 
-  /// Iterator over all internal keys in the table.
-  Iterator* NewIterator() const;
+  /// Iterator over all internal keys in the table. fill_cache=false
+  /// serves hits from the block cache but leaves misses uncached —
+  /// compactions stream every block once and must not flush the working
+  /// set (nor cache blocks of files they are about to delete).
+  Iterator* NewIterator(bool fill_cache = true) const;
+
+  /// Fetch (or serve from the block cache) the data block at handle. The
+  /// returned shared_ptr pins the cached entry, so a block stays usable
+  /// while iterators hold it even if the cache evicts it concurrently.
+  Status ReadBlock(const BlockHandle& handle, std::shared_ptr<Block>* block,
+                   bool fill_cache = true) const;
 
   const SSTableMetadata& meta() const { return meta_; }
 
  private:
-  Status ReadBlock(const BlockHandle& handle,
-                   std::unique_ptr<Block>* block) const;
-
   SSTableMetadata meta_;
   BlockFetcher* fetcher_;
+  Cache* block_cache_;
+  uint32_t range_id_;
   InternalKeyComparator icmp_;
   std::unique_ptr<Block> index_block_;
 };

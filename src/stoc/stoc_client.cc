@@ -59,6 +59,7 @@ Status StocClient::AppendBlock(rdma::NodeId stoc, uint64_t file_id,
 Status StocClient::ReadBlock(rdma::NodeId stoc, uint64_t file_id,
                              uint64_t offset, uint64_t size,
                              std::string* out) {
+  read_block_calls_.fetch_add(1, std::memory_order_relaxed);
   std::string req;
   req.push_back(kOpReadBlock);
   PutVarint64(&req, file_id);

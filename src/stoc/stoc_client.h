@@ -39,6 +39,12 @@ class StocClient {
   Status ReadBlock(rdma::NodeId stoc, uint64_t file_id, uint64_t offset,
                    uint64_t size, std::string* out);
 
+  /// Lifetime count of ReadBlock RPCs issued through this client (the
+  /// block-cache benchmarks report StoC reads avoided with it).
+  uint64_t read_block_calls() const {
+    return read_block_calls_.load(std::memory_order_relaxed);
+  }
+
   Status DeleteFile(rdma::NodeId stoc, uint64_t file_id, bool in_memory);
 
   /// --- In-memory files (Section 6.1) ---
@@ -79,6 +85,7 @@ class StocClient {
                     std::string* storage, int timeout_ms = 30000);
 
   rdma::RpcEndpoint* endpoint_;
+  std::atomic<uint64_t> read_block_calls_{0};
 };
 
 }  // namespace stoc

@@ -1,0 +1,369 @@
+#include "util/cache.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace nova {
+
+namespace {
+
+uint32_t HashSlice(const Slice& s) {
+  // FNV-1a, mixed once at the end; cheap and good enough for shard and
+  // bucket selection.
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < s.size(); i++) {
+    h ^= static_cast<unsigned char>(s.data()[i]);
+    h *= 16777619u;
+  }
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  return h;
+}
+
+/// Intrusive entry: lives in one hash bucket chain and (while resident)
+/// on one of the shard's two circular lists. refs counts the cache's own
+/// reference (while resident) plus one per outstanding client handle.
+struct LRUHandle {
+  void* value;
+  void (*deleter)(const Slice&, void*);
+  LRUHandle* next_hash;
+  LRUHandle* next;
+  LRUHandle* prev;
+  size_t charge;
+  size_t key_length;
+  bool in_cache;  // resident (findable by Lookup)?
+  uint32_t refs;
+  uint32_t hash;
+  char key_data[1];  // trailing key bytes
+
+  Slice key() const { return Slice(key_data, key_length); }
+};
+
+/// Chained hash table of LRUHandle*, resized to keep ~1 entry per bucket.
+class HandleTable {
+ public:
+  HandleTable() { Resize(); }
+  ~HandleTable() { delete[] list_; }
+
+  LRUHandle* Lookup(const Slice& key, uint32_t hash) {
+    return *FindPointer(key, hash);
+  }
+
+  /// Returns the displaced entry with the same key, if any.
+  LRUHandle* Insert(LRUHandle* h) {
+    LRUHandle** ptr = FindPointer(h->key(), h->hash);
+    LRUHandle* old = *ptr;
+    h->next_hash = (old == nullptr ? nullptr : old->next_hash);
+    *ptr = h;
+    if (old == nullptr) {
+      elems_++;
+      if (elems_ > length_) {
+        Resize();
+      }
+    }
+    return old;
+  }
+
+  LRUHandle* Remove(const Slice& key, uint32_t hash) {
+    LRUHandle** ptr = FindPointer(key, hash);
+    LRUHandle* h = *ptr;
+    if (h != nullptr) {
+      *ptr = h->next_hash;
+      elems_--;
+    }
+    return h;
+  }
+
+  /// Visit every entry (prefix invalidation sweeps).
+  template <typename Fn>
+  void ForEach(Fn fn) {
+    for (uint32_t b = 0; b < length_; b++) {
+      for (LRUHandle* h = list_[b]; h != nullptr; h = h->next_hash) {
+        fn(h);
+      }
+    }
+  }
+
+ private:
+  LRUHandle** FindPointer(const Slice& key, uint32_t hash) {
+    LRUHandle** ptr = &list_[hash & (length_ - 1)];
+    while (*ptr != nullptr && ((*ptr)->hash != hash || key != (*ptr)->key())) {
+      ptr = &(*ptr)->next_hash;
+    }
+    return ptr;
+  }
+
+  void Resize() {
+    uint32_t new_length = 16;
+    while (new_length < elems_) {
+      new_length *= 2;
+    }
+    LRUHandle** new_list = new LRUHandle*[new_length];
+    memset(new_list, 0, sizeof(new_list[0]) * new_length);
+    for (uint32_t b = 0; b < length_; b++) {
+      LRUHandle* h = list_[b];
+      while (h != nullptr) {
+        LRUHandle* next = h->next_hash;
+        LRUHandle** ptr = &new_list[h->hash & (new_length - 1)];
+        h->next_hash = *ptr;
+        *ptr = h;
+        h = next;
+      }
+    }
+    delete[] list_;
+    list_ = new_list;
+    length_ = new_length;
+  }
+
+  uint32_t length_ = 0;
+  uint32_t elems_ = 0;
+  LRUHandle** list_ = nullptr;
+};
+
+/// One mutex-protected LRU. lru_ holds resident entries nobody has pinned
+/// (eviction candidates, oldest first); in_use_ holds resident entries
+/// with outstanding handles — they are never evicted, only detached, so a
+/// cache smaller than the working set still serves every in-flight read.
+class LRUShard {
+ public:
+  ~LRUShard() {
+    assert(in_use_.next == &in_use_);  // callers must release all handles
+    for (LRUHandle* h = lru_.next; h != &lru_;) {
+      LRUHandle* next = h->next;
+      assert(h->refs == 1);
+      h->in_cache = false;  // dropping the cache's own reference
+      Unref(h);
+      h = next;
+    }
+  }
+
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+
+  LRUHandle* Insert(const Slice& key, uint32_t hash, void* value,
+                    size_t charge, void (*deleter)(const Slice&, void*)) {
+    auto* h = static_cast<LRUHandle*>(
+        malloc(sizeof(LRUHandle) - 1 + key.size()));
+    h->value = value;
+    h->deleter = deleter;
+    h->charge = charge;
+    h->key_length = key.size();
+    h->hash = hash;
+    h->in_cache = true;
+    h->refs = 2;  // the cache's reference + the returned handle
+    memcpy(h->key_data, key.data(), key.size());
+
+    std::lock_guard<std::mutex> l(mu_);
+    ListAppend(&in_use_, h);
+    usage_ += charge;
+    FinishErase(table_.Insert(h));
+    EvictLocked();
+    return h;
+  }
+
+  LRUHandle* Lookup(const Slice& key, uint32_t hash) {
+    std::lock_guard<std::mutex> l(mu_);
+    LRUHandle* h = table_.Lookup(key, hash);
+    if (h != nullptr) {
+      Ref(h);
+    }
+    return h;
+  }
+
+  void Release(LRUHandle* h) {
+    std::lock_guard<std::mutex> l(mu_);
+    Unref(h);
+  }
+
+  void Erase(const Slice& key, uint32_t hash) {
+    std::lock_guard<std::mutex> l(mu_);
+    FinishErase(table_.Remove(key, hash));
+  }
+
+  void EraseMatching(const std::function<bool(const Slice&)>& match) {
+    std::lock_guard<std::mutex> l(mu_);
+    std::vector<LRUHandle*> victims;
+    table_.ForEach([&](LRUHandle* h) {
+      if (match(h->key())) {
+        victims.push_back(h);
+      }
+    });
+    for (LRUHandle* h : victims) {
+      FinishErase(table_.Remove(h->key(), h->hash));
+    }
+  }
+
+  size_t usage() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return usage_;
+  }
+
+ private:
+  void Ref(LRUHandle* h) {
+    if (h->refs == 1 && h->in_cache) {  // on lru_: move to in_use_
+      ListRemove(h);
+      ListAppend(&in_use_, h);
+    }
+    h->refs++;
+  }
+
+  void Unref(LRUHandle* h) {
+    assert(h->refs > 0);
+    h->refs--;
+    if (h->refs == 0) {  // fully released and not resident: reclaim
+      assert(!h->in_cache);
+      h->deleter(h->key(), h->value);
+      free(h);
+    } else if (h->in_cache && h->refs == 1) {  // no pins left: evictable
+      ListRemove(h);
+      ListAppend(&lru_, h);
+      EvictLocked();
+    }
+  }
+
+  /// Detach an entry already removed from the table (no-op on nullptr).
+  void FinishErase(LRUHandle* h) {
+    if (h != nullptr) {
+      assert(h->in_cache);
+      h->in_cache = false;
+      ListRemove(h);
+      usage_ -= h->charge;
+      Unref(h);
+    }
+  }
+
+  void EvictLocked() {
+    while (usage_ > capacity_ && lru_.next != &lru_) {
+      LRUHandle* old = lru_.next;  // oldest unpinned entry
+      assert(old->refs == 1);
+      FinishErase(table_.Remove(old->key(), old->hash));
+    }
+  }
+
+  static void ListRemove(LRUHandle* h) {
+    h->next->prev = h->prev;
+    h->prev->next = h->next;
+  }
+
+  static void ListAppend(LRUHandle* list, LRUHandle* h) {
+    // Newest entries go just before `list`, so list->next is the oldest.
+    h->next = list;
+    h->prev = list->prev;
+    h->prev->next = h;
+    h->next->prev = h;
+  }
+
+  mutable std::mutex mu_;
+  size_t capacity_ = 0;
+  size_t usage_ = 0;
+  HandleTable table_;
+  // Dummy heads of the circular lists.
+  LRUHandle lru_{nullptr,  nullptr, nullptr, &lru_, &lru_,
+                 0,        0,       false,   0,     0,
+                 {0}};
+  LRUHandle in_use_{nullptr, nullptr, nullptr, &in_use_, &in_use_,
+                    0,       0,       false,   0,        0,
+                    {0}};
+};
+
+class ShardedLRUCache final : public Cache {
+ public:
+  ShardedLRUCache(size_t capacity, int shard_bits)
+      : shard_bits_(shard_bits), capacity_(capacity),
+        shards_(1u << shard_bits) {
+    // Round the per-shard capacity up so the shards sum to >= capacity.
+    size_t per_shard = (capacity + shards_.size() - 1) / shards_.size();
+    for (auto& s : shards_) {
+      s.set_capacity(per_shard);
+    }
+  }
+
+  Handle* Insert(const Slice& key, void* value, size_t charge,
+                 void (*deleter)(const Slice&, void*)) override {
+    uint32_t hash = HashSlice(key);
+    return reinterpret_cast<Handle*>(
+        ShardFor(hash).Insert(key, hash, value, charge, deleter));
+  }
+
+  Handle* Lookup(const Slice& key, bool count) override {
+    uint32_t hash = HashSlice(key);
+    LRUHandle* h = ShardFor(hash).Lookup(key, hash);
+    if (count) {
+      (h != nullptr ? hits_ : misses_)
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+    return reinterpret_cast<Handle*>(h);
+  }
+
+  void Release(Handle* handle) override {
+    LRUHandle* h = reinterpret_cast<LRUHandle*>(handle);
+    ShardFor(h->hash).Release(h);
+  }
+
+  void* Value(Handle* handle) override {
+    return reinterpret_cast<LRUHandle*>(handle)->value;
+  }
+
+  void Erase(const Slice& key) override {
+    uint32_t hash = HashSlice(key);
+    ShardFor(hash).Erase(key, hash);
+  }
+
+  void EraseWithPrefix(const Slice& prefix) override {
+    EraseMatching([&prefix](const Slice& key) {
+      return key.size() >= prefix.size() &&
+             memcmp(key.data(), prefix.data(), prefix.size()) == 0;
+    });
+  }
+
+  void EraseMatching(
+      const std::function<bool(const Slice&)>& match) override {
+    // Matching keys hash to arbitrary shards: sweep them all.
+    for (auto& s : shards_) {
+      s.EraseMatching(match);
+    }
+  }
+
+  size_t TotalCharge() const override {
+    size_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.usage();
+    }
+    return total;
+  }
+
+  size_t capacity() const override { return capacity_; }
+  uint64_t hits() const override {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t misses() const override {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // (shift by 32 is undefined, so single-shard caches index directly)
+  LRUShard& ShardFor(uint32_t hash) {
+    return shards_[shard_bits_ == 0 ? 0 : hash >> (32 - shard_bits_)];
+  }
+  const LRUShard& ShardFor(uint32_t hash) const {
+    return shards_[shard_bits_ == 0 ? 0 : hash >> (32 - shard_bits_)];
+  }
+
+  int shard_bits_;
+  size_t capacity_;
+  std::vector<LRUShard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace
+
+Cache* NewShardedLRUCache(size_t capacity, int shard_bits) {
+  return new ShardedLRUCache(capacity, shard_bits);
+}
+
+}  // namespace nova

@@ -1,0 +1,74 @@
+// Charge-based sharded LRU cache (LevelDB-lineage design). Entries are
+// arbitrary void* values with an explicit charge; the cache holds at most
+// `capacity` total charge per instance, sharded by key hash so concurrent
+// lookups on different keys rarely contend on the same mutex. Handles act
+// as pins: an entry returned by Lookup/Insert stays alive — even if it is
+// evicted or erased concurrently — until every handle to it is Released,
+// so in-flight iterators survive capacity thrash and file invalidation.
+//
+// The LTC uses one instance per node as the data-block cache for the StoC
+// read path plus the backing store for TableCache's open readers; the
+// baseline and tests use private instances.
+#ifndef NOVA_UTIL_CACHE_H_
+#define NOVA_UTIL_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "util/slice.h"
+
+namespace nova {
+
+class Cache {
+ public:
+  virtual ~Cache() = default;
+
+  /// Opaque pin on a cache entry.
+  struct Handle {};
+
+  /// Insert key -> value with the given charge against capacity. The
+  /// returned handle pins the entry and must be Released. When the entry
+  /// leaves the cache for good, deleter(key, value) reclaims the value
+  /// (possibly long after eviction, once the last pin drops).
+  virtual Handle* Insert(const Slice& key, void* value, size_t charge,
+                         void (*deleter)(const Slice& key, void* value)) = 0;
+
+  /// nullptr on miss; otherwise a pin that must be Released. count=false
+  /// leaves the hit/miss counters alone (reader-entry lookups, so the
+  /// reported stats reflect data-block traffic only).
+  virtual Handle* Lookup(const Slice& key, bool count = true) = 0;
+
+  virtual void Release(Handle* handle) = 0;
+  virtual void* Value(Handle* handle) = 0;
+
+  /// Remove the entry (pinned readers keep their pins; later lookups miss).
+  virtual void Erase(const Slice& key) = 0;
+
+  /// Remove every entry whose key starts with prefix — file invalidation:
+  /// one SSTable's reader and data blocks share a key prefix, so evicting
+  /// a compacted-away file is one call.
+  virtual void EraseWithPrefix(const Slice& prefix) = 0;
+
+  /// Remove every entry whose key satisfies match. One full sweep of the
+  /// cache, whatever the number of victims — batch invalidation (e.g.,
+  /// all of a compaction's dead files at once) costs the same as one
+  /// EraseWithPrefix, not one sweep per file.
+  virtual void EraseMatching(const std::function<bool(const Slice&)>& match)
+      = 0;
+
+  /// Total charge of resident entries (pinned entries included).
+  virtual size_t TotalCharge() const = 0;
+  virtual size_t capacity() const = 0;
+
+  /// Lifetime lookup counters (benchmark hit-rate reporting).
+  virtual uint64_t hits() const = 0;
+  virtual uint64_t misses() const = 0;
+};
+
+/// A Cache with 2^shard_bits independently locked LRU shards.
+Cache* NewShardedLRUCache(size_t capacity, int shard_bits = 4);
+
+}  // namespace nova
+
+#endif  // NOVA_UTIL_CACHE_H_
