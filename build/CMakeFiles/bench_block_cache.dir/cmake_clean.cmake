@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_block_cache.dir/bench/bench_block_cache.cc.o"
+  "CMakeFiles/bench_block_cache.dir/bench/bench_block_cache.cc.o.d"
+  "bench_block_cache"
+  "bench_block_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_block_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

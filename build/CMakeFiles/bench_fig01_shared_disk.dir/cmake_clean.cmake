@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_shared_disk.dir/bench/bench_fig01_shared_disk.cc.o"
+  "CMakeFiles/bench_fig01_shared_disk.dir/bench/bench_fig01_shared_disk.cc.o.d"
+  "bench_fig01_shared_disk"
+  "bench_fig01_shared_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_shared_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

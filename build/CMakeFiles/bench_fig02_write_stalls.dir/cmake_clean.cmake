@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_write_stalls.dir/bench/bench_fig02_write_stalls.cc.o"
+  "CMakeFiles/bench_fig02_write_stalls.dir/bench/bench_fig02_write_stalls.cc.o.d"
+  "bench_fig02_write_stalls"
+  "bench_fig02_write_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_write_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

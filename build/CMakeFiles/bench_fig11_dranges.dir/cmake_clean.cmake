@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_dranges.dir/bench/bench_fig11_dranges.cc.o"
+  "CMakeFiles/bench_fig11_dranges.dir/bench/bench_fig11_dranges.cc.o.d"
+  "bench_fig11_dranges"
+  "bench_fig11_dranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_dranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_skew.dir/bench/bench_fig12_skew.cc.o"
+  "CMakeFiles/bench_fig12_skew.dir/bench/bench_fig12_skew.cc.o.d"
+  "bench_fig12_skew"
+  "bench_fig12_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

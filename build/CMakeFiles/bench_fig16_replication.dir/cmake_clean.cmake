@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_replication.dir/bench/bench_fig16_replication.cc.o"
+  "CMakeFiles/bench_fig16_replication.dir/bench/bench_fig16_replication.cc.o.d"
+  "bench_fig16_replication"
+  "bench_fig16_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

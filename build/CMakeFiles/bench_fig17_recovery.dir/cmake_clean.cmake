@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_recovery.dir/bench/bench_fig17_recovery.cc.o"
+  "CMakeFiles/bench_fig17_recovery.dir/bench/bench_fig17_recovery.cc.o.d"
+  "bench_fig17_recovery"
+  "bench_fig17_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

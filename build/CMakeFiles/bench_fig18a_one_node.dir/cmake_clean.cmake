@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18a_one_node.dir/bench/bench_fig18a_one_node.cc.o"
+  "CMakeFiles/bench_fig18a_one_node.dir/bench/bench_fig18a_one_node.cc.o.d"
+  "bench_fig18a_one_node"
+  "bench_fig18a_one_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18a_one_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig18a_one_node.
+# This may be replaced when dependencies are built.

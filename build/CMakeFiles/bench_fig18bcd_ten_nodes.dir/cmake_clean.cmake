@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18bcd_ten_nodes.dir/bench/bench_fig18bcd_ten_nodes.cc.o"
+  "CMakeFiles/bench_fig18bcd_ten_nodes.dir/bench/bench_fig18bcd_ten_nodes.cc.o.d"
+  "bench_fig18bcd_ten_nodes"
+  "bench_fig18bcd_ten_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18bcd_ten_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

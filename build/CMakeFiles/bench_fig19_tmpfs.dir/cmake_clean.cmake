@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_tmpfs.dir/bench/bench_fig19_tmpfs.cc.o"
+  "CMakeFiles/bench_fig19_tmpfs.dir/bench/bench_fig19_tmpfs.cc.o.d"
+  "bench_fig19_tmpfs"
+  "bench_fig19_tmpfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_tmpfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec823_logging.dir/bench/bench_sec823_logging.cc.o"
+  "CMakeFiles/bench_sec823_logging.dir/bench/bench_sec823_logging.cc.o.d"
+  "bench_sec823_logging"
+  "bench_sec823_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec823_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table02_mttf.dir/bench/bench_table02_mttf.cc.o"
+  "CMakeFiles/bench_table02_mttf.dir/bench/bench_table02_mttf.cc.o.d"
+  "bench_table02_mttf"
+  "bench_table02_mttf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table02_mttf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

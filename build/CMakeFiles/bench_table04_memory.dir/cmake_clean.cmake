@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table04_memory.dir/bench/bench_table04_memory.cc.o"
+  "CMakeFiles/bench_table04_memory.dir/bench/bench_table04_memory.cc.o.d"
+  "bench_table04_memory"
+  "bench_table04_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table05_power_of_d.dir/bench/bench_table05_power_of_d.cc.o"
+  "CMakeFiles/bench_table05_power_of_d.dir/bench/bench_table05_power_of_d.cc.o.d"
+  "bench_table05_power_of_d"
+  "bench_table05_power_of_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_power_of_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

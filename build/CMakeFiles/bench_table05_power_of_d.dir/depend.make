@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table05_power_of_d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table07_latency.dir/bench/bench_table07_latency.cc.o"
+  "CMakeFiles/bench_table07_latency.dir/bench/bench_table07_latency.cc.o.d"
+  "bench_table07_latency"
+  "bench_table07_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

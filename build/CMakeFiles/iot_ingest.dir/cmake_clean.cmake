@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_ingest.dir/examples/iot_ingest.cpp.o"
+  "CMakeFiles/iot_ingest.dir/examples/iot_ingest.cpp.o.d"
+  "iot_ingest"
+  "iot_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

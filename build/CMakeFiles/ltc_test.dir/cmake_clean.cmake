@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltc_test.dir/tests/ltc_test.cc.o"
+  "CMakeFiles/ltc_test.dir/tests/ltc_test.cc.o.d"
+  "ltc_test"
+  "ltc_test.pdb"
+  "ltc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

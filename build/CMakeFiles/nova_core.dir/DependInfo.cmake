@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/baseline.cc" "CMakeFiles/nova_core.dir/src/baseline/baseline.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/baseline/baseline.cc.o.d"
+  "/root/repo/src/bench_core/workload.cc" "CMakeFiles/nova_core.dir/src/bench_core/workload.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/bench_core/workload.cc.o.d"
+  "/root/repo/src/client/nova_client.cc" "CMakeFiles/nova_core.dir/src/client/nova_client.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/client/nova_client.cc.o.d"
+  "/root/repo/src/coord/cluster.cc" "CMakeFiles/nova_core.dir/src/coord/cluster.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/coord/cluster.cc.o.d"
+  "/root/repo/src/coord/coordinator.cc" "CMakeFiles/nova_core.dir/src/coord/coordinator.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/coord/coordinator.cc.o.d"
+  "/root/repo/src/logc/log_client.cc" "CMakeFiles/nova_core.dir/src/logc/log_client.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/logc/log_client.cc.o.d"
+  "/root/repo/src/logc/log_record.cc" "CMakeFiles/nova_core.dir/src/logc/log_record.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/logc/log_record.cc.o.d"
+  "/root/repo/src/lsm/compaction.cc" "CMakeFiles/nova_core.dir/src/lsm/compaction.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/lsm/compaction.cc.o.d"
+  "/root/repo/src/lsm/file_meta.cc" "CMakeFiles/nova_core.dir/src/lsm/file_meta.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/lsm/file_meta.cc.o.d"
+  "/root/repo/src/lsm/table_io.cc" "CMakeFiles/nova_core.dir/src/lsm/table_io.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/lsm/table_io.cc.o.d"
+  "/root/repo/src/lsm/version.cc" "CMakeFiles/nova_core.dir/src/lsm/version.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/lsm/version.cc.o.d"
+  "/root/repo/src/ltc/drange.cc" "CMakeFiles/nova_core.dir/src/ltc/drange.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/ltc/drange.cc.o.d"
+  "/root/repo/src/ltc/lookup_index.cc" "CMakeFiles/nova_core.dir/src/ltc/lookup_index.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/ltc/lookup_index.cc.o.d"
+  "/root/repo/src/ltc/ltc_server.cc" "CMakeFiles/nova_core.dir/src/ltc/ltc_server.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/ltc/ltc_server.cc.o.d"
+  "/root/repo/src/ltc/range_engine.cc" "CMakeFiles/nova_core.dir/src/ltc/range_engine.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/ltc/range_engine.cc.o.d"
+  "/root/repo/src/ltc/range_index.cc" "CMakeFiles/nova_core.dir/src/ltc/range_index.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/ltc/range_index.cc.o.d"
+  "/root/repo/src/mem/arena.cc" "CMakeFiles/nova_core.dir/src/mem/arena.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/mem/arena.cc.o.d"
+  "/root/repo/src/mem/dbformat.cc" "CMakeFiles/nova_core.dir/src/mem/dbformat.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/mem/dbformat.cc.o.d"
+  "/root/repo/src/mem/memtable.cc" "CMakeFiles/nova_core.dir/src/mem/memtable.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/mem/memtable.cc.o.d"
+  "/root/repo/src/rdma/fabric.cc" "CMakeFiles/nova_core.dir/src/rdma/fabric.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/rdma/fabric.cc.o.d"
+  "/root/repo/src/rdma/rpc.cc" "CMakeFiles/nova_core.dir/src/rdma/rpc.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/rdma/rpc.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "CMakeFiles/nova_core.dir/src/sim/cost_model.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/cpu_throttle.cc" "CMakeFiles/nova_core.dir/src/sim/cpu_throttle.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/sim/cpu_throttle.cc.o.d"
+  "/root/repo/src/sstable/block.cc" "CMakeFiles/nova_core.dir/src/sstable/block.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/sstable/block.cc.o.d"
+  "/root/repo/src/sstable/bloom.cc" "CMakeFiles/nova_core.dir/src/sstable/bloom.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/sstable/bloom.cc.o.d"
+  "/root/repo/src/sstable/format.cc" "CMakeFiles/nova_core.dir/src/sstable/format.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/sstable/format.cc.o.d"
+  "/root/repo/src/sstable/merging_iterator.cc" "CMakeFiles/nova_core.dir/src/sstable/merging_iterator.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/sstable/merging_iterator.cc.o.d"
+  "/root/repo/src/sstable/sstable_builder.cc" "CMakeFiles/nova_core.dir/src/sstable/sstable_builder.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/sstable/sstable_builder.cc.o.d"
+  "/root/repo/src/sstable/sstable_reader.cc" "CMakeFiles/nova_core.dir/src/sstable/sstable_reader.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/sstable/sstable_reader.cc.o.d"
+  "/root/repo/src/stoc/stoc_client.cc" "CMakeFiles/nova_core.dir/src/stoc/stoc_client.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/stoc/stoc_client.cc.o.d"
+  "/root/repo/src/stoc/stoc_server.cc" "CMakeFiles/nova_core.dir/src/stoc/stoc_server.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/stoc/stoc_server.cc.o.d"
+  "/root/repo/src/storage/block_store.cc" "CMakeFiles/nova_core.dir/src/storage/block_store.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/storage/block_store.cc.o.d"
+  "/root/repo/src/storage/simulated_device.cc" "CMakeFiles/nova_core.dir/src/storage/simulated_device.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/storage/simulated_device.cc.o.d"
+  "/root/repo/src/util/cache.cc" "CMakeFiles/nova_core.dir/src/util/cache.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/util/cache.cc.o.d"
+  "/root/repo/src/util/coding.cc" "CMakeFiles/nova_core.dir/src/util/coding.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/util/coding.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "CMakeFiles/nova_core.dir/src/util/crc32c.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/util/crc32c.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "CMakeFiles/nova_core.dir/src/util/histogram.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/util/histogram.cc.o.d"
+  "/root/repo/src/util/iterator.cc" "CMakeFiles/nova_core.dir/src/util/iterator.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/util/iterator.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/nova_core.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/slab_allocator.cc" "CMakeFiles/nova_core.dir/src/util/slab_allocator.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/util/slab_allocator.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/nova_core.dir/src/util/status.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/util/status.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/nova_core.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/util/thread_pool.cc.o.d"
+  "/root/repo/src/util/zipfian.cc" "CMakeFiles/nova_core.dir/src/util/zipfian.cc.o" "gcc" "CMakeFiles/nova_core.dir/src/util/zipfian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_feed.dir/examples/social_feed.cpp.o"
+  "CMakeFiles/social_feed.dir/examples/social_feed.cpp.o.d"
+  "social_feed"
+  "social_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

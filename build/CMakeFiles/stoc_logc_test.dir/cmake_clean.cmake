@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stoc_logc_test.dir/tests/stoc_logc_test.cc.o"
+  "CMakeFiles/stoc_logc_test.dir/tests/stoc_logc_test.cc.o.d"
+  "stoc_logc_test"
+  "stoc_logc_test.pdb"
+  "stoc_logc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stoc_logc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

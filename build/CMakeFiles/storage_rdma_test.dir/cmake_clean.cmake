@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_rdma_test.dir/tests/storage_rdma_test.cc.o"
+  "CMakeFiles/storage_rdma_test.dir/tests/storage_rdma_test.cc.o.d"
+  "storage_rdma_test"
+  "storage_rdma_test.pdb"
+  "storage_rdma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_rdma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

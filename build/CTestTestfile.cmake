@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/block_cache_test[1]_include.cmake")
+include("/root/repo/build/churn_test[1]_include.cmake")
+include("/root/repo/build/integration_test[1]_include.cmake")
+include("/root/repo/build/lsm_test[1]_include.cmake")
+include("/root/repo/build/ltc_test[1]_include.cmake")
+include("/root/repo/build/mem_test[1]_include.cmake")
+include("/root/repo/build/sstable_test[1]_include.cmake")
+include("/root/repo/build/stoc_logc_test[1]_include.cmake")
+include("/root/repo/build/storage_rdma_test[1]_include.cmake")
+include("/root/repo/build/util_test[1]_include.cmake")
+add_test(example_fault_tolerance "/root/repo/build/fault_tolerance")
+set_tests_properties(example_fault_tolerance PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(example_iot_ingest "/root/repo/build/iot_ingest")
+set_tests_properties(example_iot_ingest PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(example_social_feed "/root/repo/build/social_feed")
+set_tests_properties(example_social_feed PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;51;add_test;/root/repo/CMakeLists.txt;0;")
