@@ -56,9 +56,13 @@ void Run(const BenchConfig& cfg) {
 
     spec.type = WorkloadType::kR100;
     spec.zipf_theta = 0.99;
-    // Warm the cache, then measure. Hit% is windowed like the StoC-read
-    // delta so load/warm-up misses don't understate the steady state.
-    RunWorkload(&cluster, spec, cfg.seconds / 2, cfg.client_threads);
+    // Warm the cache (--warmup=N controls the window; default half the
+    // measurement window), then measure. Hit% is windowed like the
+    // StoC-read delta so load/warm-up misses don't understate the steady
+    // state — raise --warmup when large caches look cold-start noisy.
+    if (cfg.WarmupSeconds() > 0) {
+      RunWorkload(&cluster, spec, cfg.WarmupSeconds(), cfg.client_threads);
+    }
     uint64_t reads_before = TotalStocReads(&cluster);
     ltc::RangeStats before = cluster.TotalStats();
     RunResult r = RunWorkload(&cluster, spec, cfg.seconds,

@@ -22,6 +22,13 @@ struct BenchConfig {
   uint64_t num_keys = 24000;  // ≙ paper's 10 GB at 1/64 scale+reduced count
   int client_threads = 8;
   size_t value_size = 1024;
+  /// Warm-up window run before the measurement window (cache-sensitive
+  /// benches); < 0 = the bench's default (half the measurement window).
+  double warmup_seconds = -1;
+
+  double WarmupSeconds() const {
+    return warmup_seconds < 0 ? seconds / 2 : warmup_seconds;
+  }
 };
 
 inline BenchConfig ParseArgs(int argc, char** argv) {
@@ -31,6 +38,8 @@ inline BenchConfig ParseArgs(int argc, char** argv) {
     long long n;
     if (sscanf(argv[i], "--seconds=%lf", &d) == 1) {
       cfg.seconds = d;
+    } else if (sscanf(argv[i], "--warmup=%lf", &d) == 1) {
+      cfg.warmup_seconds = d;
     } else if (sscanf(argv[i], "--keys=%lld", &n) == 1) {
       cfg.num_keys = n;
     } else if (sscanf(argv[i], "--threads=%lld", &n) == 1) {

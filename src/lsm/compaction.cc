@@ -282,8 +282,13 @@ Status CompactionExecutor::Run(const CompactionJob& job,
       pins.push_back(handle);
       // Stream, don't cache: a compaction reads every input block exactly
       // once and then deletes the file — filling the block cache would
-      // evict the hot read-path working set for nothing.
-      children.push_back(handle.reader->NewIterator(/*fill_cache=*/false));
+      // evict the hot read-path working set for nothing. Readahead is
+      // pinned to 0 so compaction streams don't pollute the scan-path
+      // readahead_issued/hits counters (give compaction its own counters
+      // before pipelining it).
+      children.push_back(
+          handle.reader->NewIterator(/*fill_cache=*/false,
+                                     /*readahead_blocks=*/0));
     }
     return Status::OK();
   };

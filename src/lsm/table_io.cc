@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <set>
-#include <thread>
 
 #include "stoc/stoc_common.h"
 #include "util/coding.h"
@@ -29,30 +28,70 @@ Status StocBlockFetcher::ReconstructFromParity(int fragment,
     return Status::Unavailable("fragment lost and no parity block");
   }
   // Parity is the XOR of all fragments zero-padded to the longest one.
-  std::string parity;
-  Status s = client_->ReadBlock(meta_->parity.stoc_id, meta_->parity.file_id,
-                                0, 0, &parity);
-  if (!s.ok()) {
-    return s;
-  }
-  std::string acc = parity;
+  // Gather the parity block and every surviving fragment in one parallel
+  // batch (replica failover included) — the degraded read costs one
+  // round-trip-ish, not |fragments| serial ones.
+  std::vector<stoc::GatherRead> reads;
+  reads.emplace_back();
+  reads.back().replicas.push_back(
+      {meta_->parity.stoc_id, meta_->parity.file_id});
   for (int f = 0; f < static_cast<int>(meta_->fragments.size()); f++) {
     if (f == fragment) {
       continue;
     }
-    std::string other;
-    s = ReadFragment(f, 0, meta_->fragment_sizes[f], &other);
-    if (!s.ok()) {
-      return Status::Unavailable("second fragment loss; parity insufficient");
+    reads.emplace_back();
+    reads.back().size = meta_->fragment_sizes[f];
+    for (const BlockLocation& loc : meta_->fragments[f]) {
+      reads.back().replicas.push_back({loc.stoc_id, loc.file_id});
     }
-    for (size_t i = 0; i < other.size() && i < acc.size(); i++) {
-      acc[i] ^= other[i];
+  }
+  Status s = client_->GatherReads(&reads);
+  if (!s.ok()) {
+    if (!reads[0].status.ok()) {
+      return reads[0].status;  // the parity block itself is gone
+    }
+    return Status::Unavailable("second fragment loss; parity insufficient");
+  }
+  std::string acc = std::move(reads[0].data);
+  for (size_t i = 1; i < reads.size(); i++) {
+    const std::string& other = reads[i].data;
+    for (size_t j = 0; j < other.size() && j < acc.size(); j++) {
+      acc[j] ^= other[j];
     }
   }
   acc.resize(meta_->fragment_sizes[fragment]);
   *full_fragment = std::move(acc);
   degraded_reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+namespace {
+
+/// One readahead read in flight to the first replica. Failures surface to
+/// the caller (the scan iterator), which retries through the reader's
+/// synchronous path — full replica failover + parity reconstruction —
+/// so a failed prefetch is never silently counted as served-ahead.
+class StocPendingFetch : public BlockFetcher::Pending {
+ public:
+  explicit StocPendingFetch(stoc::PendingRead read) : read_(std::move(read)) {}
+
+  Status Wait(std::string* out) override { return read_.Wait(out); }
+
+ private:
+  stoc::PendingRead read_;
+};
+
+}  // namespace
+
+std::unique_ptr<BlockFetcher::Pending> StocBlockFetcher::StartFetch(
+    int fragment, uint64_t offset, uint64_t size) {
+  if (fragment < 0 || fragment >= static_cast<int>(meta_->fragments.size()) ||
+      meta_->fragments[fragment].empty()) {
+    return nullptr;
+  }
+  const BlockLocation& loc = meta_->fragments[fragment][0];
+  return std::make_unique<StocPendingFetch>(
+      client_->AsyncReadBlock(loc.stoc_id, loc.file_id, offset, size));
 }
 
 Status StocBlockFetcher::Fetch(int fragment, uint64_t offset, uint64_t size,
@@ -96,11 +135,14 @@ void TableCache::DeleteEntry(const Slice& /*key*/, void* value) {
 }
 
 TableCache::TableCache(stoc::StocClient* client, Cache* cache,
-                       uint32_t range_id, bool cache_data_blocks)
+                       uint32_t range_id, bool cache_data_blocks,
+                       int readahead_blocks, ReadaheadCounters* readahead)
     : client_(client),
       live_readers_(std::make_shared<std::atomic<size_t>>(0)),
       range_id_(range_id),
-      cache_data_blocks_(cache_data_blocks) {
+      cache_data_blocks_(cache_data_blocks),
+      readahead_blocks_(readahead_blocks),
+      readahead_(readahead) {
   if (cache == nullptr) {
     owned_cache_.reset(NewShardedLRUCache(kDefaultReaderCacheBytes));
     cache = owned_cache_.get();
@@ -146,7 +188,8 @@ Status TableCache::GetReader(const FileMetaRef& meta, Handle* handle) {
     entry->fetcher = std::make_unique<StocBlockFetcher>(client_, meta);
     entry->reader = std::make_unique<SSTableReader>(
         std::move(table_meta), entry->fetcher.get(),
-        cache_data_blocks_ ? cache_ : nullptr, range_id_);
+        cache_data_blocks_ ? cache_ : nullptr, range_id_, readahead_blocks_,
+        readahead_);
     entry->live_readers = live_readers_;
     live_readers_->fetch_add(1, std::memory_order_relaxed);
     size_t charge = sizeof(Entry) + sizeof(SSTableReader) +
@@ -314,36 +357,12 @@ Status SSTablePlacer::Write(SSTableBuilder::Result&& built, int drange_id,
     frag_offset += tmeta.fragment_sizes[f];
   }
 
-  // Parallel fragment writes (the point of scattering: the SSTable write
-  // uses the disk bandwidth of ρ StoCs at once).
-  std::vector<Status> results(tasks.size());
-  std::vector<std::thread> writers;
-  writers.reserve(tasks.size());
-  out->fragments.assign(nfrags, std::vector<BlockLocation>(replicas));
-  for (size_t i = 0; i < tasks.size(); i++) {
-    writers.emplace_back([this, &tasks, &results, out, i] {
-      const WriteTask& t = tasks[i];
-      stoc::StocBlockHandle handle;
-      results[i] = client_->AppendBlock(t.stoc, t.file_id, t.data, &handle);
-      if (results[i].ok()) {
-        out->fragments[t.fragment][t.replica] =
-            BlockLocation{t.stoc, t.file_id};
-      }
-    });
-  }
-  for (auto& w : writers) {
-    w.join();
-  }
-  for (const Status& s : results) {
-    if (!s.ok()) {
-      return s;
-    }
-  }
-
   // Parity block over the fragments (Hybrid availability): XOR of all
-  // fragments zero-padded to the longest.
+  // fragments zero-padded to the longest. Computed up front so its append
+  // can join the fragment batch below.
+  std::string parity;
   if (opt.use_parity && nfrags >= 1) {
-    std::string parity(max_frag, '\0');
+    parity.assign(max_frag, '\0');
     uint64_t off = 0;
     for (int f = 0; f < nfrags; f++) {
       for (uint64_t i = 0; i < tmeta.fragment_sizes[f]; i++) {
@@ -366,15 +385,15 @@ Status SSTablePlacer::Write(SSTableBuilder::Result&& built, int drange_id,
     if (parity_stoc < 0) {
       parity_stoc = opt.stocs[0];
     }
-    uint64_t parity_id = stoc::MakeFileId(
+    WriteTask t;
+    t.fragment = -1;  // parity
+    t.replica = 0;
+    t.stoc = parity_stoc;
+    t.file_id = stoc::MakeFileId(
         opt.range_id, static_cast<uint32_t>(tmeta.file_number),
         stoc::FileKind::kParity, 0);
-    stoc::StocBlockHandle handle;
-    Status s = client_->AppendBlock(parity_stoc, parity_id, parity, &handle);
-    if (!s.ok()) {
-      return s;
-    }
-    out->parity = BlockLocation{parity_stoc, parity_id};
+    t.data = Slice(parity);
+    tasks.push_back(t);
   }
 
   // Metadata block replicas (index + bloom); small, so replication is
@@ -385,19 +404,53 @@ Status SSTablePlacer::Write(SSTableBuilder::Result&& built, int drange_id,
       std::min<int>(std::max(1, opt.num_meta_replicas),
                     static_cast<int>(opt.stocs.size()));
   std::vector<rdma::NodeId> meta_targets = PickStocs(meta_replicas);
+  out->meta_replicas.assign(meta_targets.size(), BlockLocation{});
   for (int r = 0; r < static_cast<int>(meta_targets.size()); r++) {
-    uint64_t meta_id = stoc::MakeFileId(
+    WriteTask t;
+    t.fragment = -2;  // metadata
+    t.replica = r;
+    t.stoc = meta_targets[r];
+    t.file_id = stoc::MakeFileId(
         opt.range_id, static_cast<uint32_t>(tmeta.file_number),
         stoc::FileKind::kMeta, static_cast<uint8_t>(r));
-    stoc::StocBlockHandle handle;
-    Status s =
-        client_->AppendBlock(meta_targets[r], meta_id, meta_encoded, &handle);
-    if (!s.ok()) {
-      return s;
-    }
-    out->meta_replicas.push_back(BlockLocation{meta_targets[r], meta_id});
+    t.data = Slice(meta_encoded);
+    tasks.push_back(t);
   }
-  return Status::OK();
+
+  // One async batch for the whole SSTable (the point of scattering: the
+  // write uses the disk bandwidth of ρ StoCs at once). Phase 1 queued the
+  // buffer-grant RPCs above; Arm() collects each grant and issues the
+  // one-sided data write (both cheap), then every StoC flushes its blocks
+  // concurrently while Wait() collects the acknowledgments in order.
+  out->fragments.assign(nfrags, std::vector<BlockLocation>(replicas));
+  std::vector<stoc::PendingAppend> appends;
+  appends.reserve(tasks.size());
+  for (const WriteTask& t : tasks) {
+    appends.push_back(client_->AsyncAppendBlock(t.stoc, t.file_id, t.data));
+  }
+  for (stoc::PendingAppend& a : appends) {
+    a.Arm();  // failures surface again in Wait() below
+  }
+  Status first_error;
+  for (size_t i = 0; i < tasks.size(); i++) {
+    const WriteTask& t = tasks[i];
+    stoc::StocBlockHandle handle;
+    Status s = appends[i].Wait(&handle);
+    if (!s.ok()) {
+      if (first_error.ok()) {
+        first_error = s;
+      }
+      continue;  // keep draining so no acknowledgment is orphaned
+    }
+    if (t.fragment >= 0) {
+      out->fragments[t.fragment][t.replica] = BlockLocation{t.stoc, t.file_id};
+    } else if (t.fragment == -1) {
+      out->parity = BlockLocation{t.stoc, t.file_id};
+    } else {
+      out->meta_replicas[t.replica] = BlockLocation{t.stoc, t.file_id};
+    }
+  }
+  return first_error;
 }
 
 }  // namespace lsm

@@ -40,6 +40,12 @@ class StocBlockFetcher : public BlockFetcher {
   Status Fetch(int fragment, uint64_t offset, uint64_t size,
                std::string* out) override;
 
+  /// Async fetch for scan readahead: issues the read to the first replica
+  /// immediately. A failed read surfaces from Pending::Wait; callers
+  /// retry through Fetch (replica failover + parity reconstruction).
+  std::unique_ptr<Pending> StartFetch(int fragment, uint64_t offset,
+                                      uint64_t size) override;
+
   /// Number of reads that had to be served by parity reconstruction.
   uint64_t degraded_reads() const { return degraded_reads_; }
 
@@ -64,8 +70,12 @@ class TableCache {
   /// charge budget. When null, a private reader-only cache is created.
   /// cache_data_blocks: opened readers also consult `cache` for data
   /// blocks in ReadBlock (the StoC read-path block cache).
+  /// readahead_blocks/readahead: scan-readahead depth and counter sink
+  /// handed to every reader this cache opens (see SSTableReader).
   explicit TableCache(stoc::StocClient* client, Cache* cache = nullptr,
-                      uint32_t range_id = 0, bool cache_data_blocks = false);
+                      uint32_t range_id = 0, bool cache_data_blocks = false,
+                      int readahead_blocks = 0,
+                      ReadaheadCounters* readahead = nullptr);
   ~TableCache();
 
   /// A pinned reader: keeps the underlying reader (and its fetcher) alive
@@ -100,6 +110,8 @@ class TableCache {
   Cache* cache_;
   uint32_t range_id_;
   bool cache_data_blocks_;
+  int readahead_blocks_;
+  ReadaheadCounters* readahead_;
 };
 
 struct PlacementOptions {

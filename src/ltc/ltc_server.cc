@@ -69,8 +69,12 @@ RangeEngine* LtcServer::AddRange(const RangeEngineOptions& options,
 RangeEngine* LtcServer::AddRangeForRecovery(
     const RangeEngineOptions& options,
     const std::vector<rdma::NodeId>& stocs) {
+  RangeEngineOptions opt = options;
+  if (opt.readahead_blocks == 0) {
+    opt.readahead_blocks = options_.readahead_blocks;
+  }
   auto engine = std::make_unique<RangeEngine>(
-      options, stoc_client_.get(), stocs, throttle_.get(),
+      opt, stoc_client_.get(), stocs, throttle_.get(),
       flush_pool_.get(), compaction_pool_.get(), block_cache_.get());
   RangeEngine* ptr = engine.get();
   std::lock_guard<std::mutex> l(mu_);

@@ -33,6 +33,9 @@ struct LtcServerOptions {
   /// One data-block cache shared by all ranges on this LTC (StoC read
   /// path, charge-bounded sharded LRU). 0 = no data-block caching.
   size_t block_cache_bytes = 0;
+  /// Node-wide default for RangeEngineOptions::readahead_blocks; applied
+  /// to every added range that leaves its own knob at 0 (unset).
+  int readahead_blocks = 0;
 };
 
 class LtcServer {

@@ -50,7 +50,8 @@ RangeEngine::RangeEngine(const RangeEngineOptions& options,
   block_cache_ = block_cache;
   table_cache_ = std::make_unique<lsm::TableCache>(
       client_, block_cache_, options_.range_id,
-      /*cache_data_blocks=*/block_cache_ != nullptr);
+      /*cache_data_blocks=*/block_cache_ != nullptr,
+      std::max(0, options_.readahead_blocks), &readahead_counters_);
   lsm::PlacementOptions popt;
   popt.stocs = stocs;
   popt.range_id = options_.range_id;
@@ -487,6 +488,9 @@ Status RangeEngine::Get(const Slice& key, std::string* value) {
     lsm::TableCache::Handle handle;
     if (!table_cache_->GetReader(f, &handle).ok()) {
       continue;
+    }
+    if (!handle.reader->KeyMayMatch(key)) {
+      continue;  // bloom rejected: skip the index seek and probe charge
     }
     throttle_->Charge(costs.l0_sstable_probe_us);
     std::string v;
@@ -1454,6 +1458,10 @@ RangeStats RangeEngine::stats() const {
     out.block_cache_misses = owned_block_cache_->misses();
     out.block_cache_bytes = owned_block_cache_->TotalCharge();
   }
+  out.readahead_issued =
+      readahead_counters_.issued.load(std::memory_order_relaxed);
+  out.readahead_hits =
+      readahead_counters_.hits.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -72,6 +72,11 @@ struct RangeEngineOptions {
   /// LtcServer normally share one node-wide cache instead
   /// (LtcServerOptions::block_cache_bytes).
   size_t block_cache_bytes = 0;
+  /// Scan readahead: how many data blocks an SSTable scan iterator keeps
+  /// in flight past its position (prefetched into the block cache while
+  /// the current block drains). 0 = unset — LtcServer-hosted engines
+  /// inherit LtcServerOptions::readahead_blocks; -1 = force off.
+  int readahead_blocks = 0;
   uint64_t max_sstable_size = 512 << 10;
   int max_parallel_compactions = 4;
   /// Offload compaction jobs to StoCs round-robin (Section 4.3).
@@ -98,6 +103,10 @@ struct RangeStats {
   uint64_t block_cache_hits = 0;
   uint64_t block_cache_misses = 0;
   uint64_t block_cache_bytes = 0;
+  /// Scan-readahead counters: prefetches issued and prefetches that
+  /// served a block the scan then consumed.
+  uint64_t readahead_issued = 0;
+  uint64_t readahead_hits = 0;
 
   /// The single roll-up used by LtcServer and Cluster TotalStats — new
   /// fields only need to be added here.
@@ -116,6 +125,8 @@ struct RangeStats {
     block_cache_hits += o.block_cache_hits;
     block_cache_misses += o.block_cache_misses;
     block_cache_bytes += o.block_cache_bytes;
+    readahead_issued += o.readahead_issued;
+    readahead_hits += o.readahead_hits;
     return *this;
   }
 };
@@ -283,6 +294,7 @@ class RangeEngine {
 
   mutable std::mutex stats_mu_;
   RangeStats stats_;
+  ReadaheadCounters readahead_counters_;
   std::atomic<uint64_t> degraded_gets_{0};
   std::atomic<bool> stopping_{false};
 };

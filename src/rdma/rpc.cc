@@ -29,6 +29,63 @@ std::string Frame(MsgKind kind, uint64_t id, const Slice& payload) {
 
 }  // namespace
 
+void RpcEndpoint::Fulfill(const std::shared_ptr<Future::State>& state,
+                          Status status, std::string payload) {
+  std::lock_guard<std::mutex> l(state->mu);
+  if (state->done) {
+    return;
+  }
+  state->done = true;
+  state->status = std::move(status);
+  state->payload = std::move(payload);
+  state->cv.notify_all();
+}
+
+bool Future::ready() const {
+  if (state_ == nullptr) {
+    return false;
+  }
+  std::lock_guard<std::mutex> l(state_->mu);
+  return state_->done;
+}
+
+Status Future::Wait(std::string* payload, int timeout_ms) {
+  if (state_ == nullptr) {
+    return Status::InvalidArgument("invalid future");
+  }
+  std::unique_lock<std::mutex> l(state_->mu);
+  if (!state_->cv.wait_for(l, std::chrono::milliseconds(timeout_ms),
+                           [this] { return state_->done; })) {
+    // Timed out: withdraw the waiter slot so a late response is dropped.
+    // Losing the withdrawal race means a completer holds the slot and is
+    // about to fulfill the state — wait for it.
+    l.unlock();
+    if (state_->endpoint == nullptr ||
+        !state_->endpoint->AbandonWaiter(state_->id)) {
+      // No slot to withdraw (Failed() future raced, or completion in
+      // flight): the fulfillment is imminent.
+      std::unique_lock<std::mutex> l2(state_->mu);
+      state_->cv.wait(l2, [this] { return state_->done; });
+    }
+    l.lock();
+  }
+  if (payload != nullptr && state_->status.ok()) {
+    // Move, don't copy: responses can be whole fragments. The first Wait
+    // that passes a payload pointer consumes it (see header contract).
+    *payload = std::move(state_->payload);
+    state_->payload.clear();
+  }
+  return state_->status;
+}
+
+Future Future::Failed(Status s) {
+  Future f;
+  f.state_ = std::make_shared<State>();
+  f.state_->done = true;
+  f.state_->status = std::move(s);
+  return f;
+}
+
 RpcEndpoint::RpcEndpoint(RdmaFabric* fabric, NodeId node, int num_xchg_threads,
                          sim::CpuThrottle* throttle)
     : fabric_(fabric),
@@ -59,12 +116,14 @@ void RpcEndpoint::Stop() {
   }
   xchg_threads_.clear();
   // Fail anything still waiting.
-  std::lock_guard<std::mutex> l(waiters_mu_);
-  for (auto& [id, w] : waiters_) {
-    w.done = true;
-    w.failed = true;
+  std::map<uint64_t, std::shared_ptr<Future::State>> pending;
+  {
+    std::lock_guard<std::mutex> l(waiters_mu_);
+    pending.swap(waiters_);
   }
-  waiters_cv_.notify_all();
+  for (auto& [id, state] : pending) {
+    Fulfill(state, Status::Unavailable("endpoint stopped"), "");
+  }
 }
 
 void RpcEndpoint::XchgLoop(int thread_index) {
@@ -121,39 +180,66 @@ void RpcEndpoint::Dispatch(const InboundMessage& msg) {
       break;
     case kResponse:
     case kTokenComplete:
-      CompleteWaiter(id, payload, false);
+      CompleteWaiter(id, payload);
       break;
   }
 }
 
-void RpcEndpoint::CompleteWaiter(uint64_t id, const Slice& payload,
-                                 bool failed) {
+Future RpcEndpoint::RegisterWaiter(uint64_t* id) {
+  *id = next_id_.fetch_add(1);
+  Future f;
+  f.state_ = std::make_shared<Future::State>();
+  f.state_->endpoint = this;
+  f.state_->id = *id;
   std::lock_guard<std::mutex> l(waiters_mu_);
-  auto it = waiters_.find(id);
-  if (it == waiters_.end()) {
-    return;  // late response after timeout; drop
+  waiters_[*id] = f.state_;
+  return f;
+}
+
+void RpcEndpoint::CompleteWaiter(uint64_t id, const Slice& payload) {
+  std::shared_ptr<Future::State> state;
+  {
+    std::lock_guard<std::mutex> l(waiters_mu_);
+    auto it = waiters_.find(id);
+    if (it == waiters_.end()) {
+      return;  // late response after timeout; drop
+    }
+    state = std::move(it->second);
+    waiters_.erase(it);
   }
-  it->second.done = true;
-  it->second.failed = failed;
-  it->second.payload = payload.ToString();
-  waiters_cv_.notify_all();
+  Fulfill(state, Status::OK(), payload.ToString());
+}
+
+bool RpcEndpoint::AbandonWaiter(uint64_t id) {
+  std::shared_ptr<Future::State> state;
+  {
+    std::lock_guard<std::mutex> l(waiters_mu_);
+    auto it = waiters_.find(id);
+    if (it == waiters_.end()) {
+      return false;
+    }
+    state = std::move(it->second);
+    waiters_.erase(it);
+  }
+  Fulfill(state, Status::IOError("rpc timeout"), "");
+  return true;
+}
+
+Future RpcEndpoint::AsyncCall(NodeId dst, const Slice& request) {
+  uint64_t id;
+  Future f = RegisterWaiter(&id);
+  throttle_->Charge(sim::DefaultCostModel().rdma_message_us);
+  Status s = fabric_->Send(node_, dst, Frame(kRequest, id, request));
+  if (!s.ok()) {
+    AbandonWaiter(id);
+    return Future::Failed(s);
+  }
+  return f;
 }
 
 Status RpcEndpoint::Call(NodeId dst, const Slice& request,
                          std::string* response, int timeout_ms) {
-  uint64_t id = next_id_.fetch_add(1);
-  {
-    std::lock_guard<std::mutex> l(waiters_mu_);
-    waiters_[id] = Waiter();
-  }
-  throttle_->Charge(sim::DefaultCostModel().rdma_message_us);
-  Status s = fabric_->Send(node_, dst, Frame(kRequest, id, request));
-  if (!s.ok()) {
-    std::lock_guard<std::mutex> l(waiters_mu_);
-    waiters_.erase(id);
-    return s;
-  }
-  return WaitToken(id, response, timeout_ms);
+  return AsyncCall(dst, request).Wait(response, timeout_ms);
 }
 
 Status RpcEndpoint::OneWay(NodeId dst, const Slice& request) {
@@ -166,37 +252,10 @@ Status RpcEndpoint::Reply(NodeId dst, uint64_t req_id, const Slice& response) {
   return fabric_->Send(node_, dst, Frame(kResponse, req_id, response));
 }
 
-uint64_t RpcEndpoint::AllocToken() {
-  uint64_t id = next_id_.fetch_add(1);
-  std::lock_guard<std::mutex> l(waiters_mu_);
-  waiters_[id] = Waiter();
+uint64_t RpcEndpoint::AllocToken(Future* future) {
+  uint64_t id;
+  *future = RegisterWaiter(&id);
   return id;
-}
-
-Status RpcEndpoint::WaitToken(uint64_t token, std::string* payload,
-                              int timeout_ms) {
-  std::unique_lock<std::mutex> l(waiters_mu_);
-  bool ok = waiters_cv_.wait_for(
-      l, std::chrono::milliseconds(timeout_ms), [this, token] {
-        auto it = waiters_.find(token);
-        return it == waiters_.end() || it->second.done;
-      });
-  auto it = waiters_.find(token);
-  if (it == waiters_.end()) {
-    return Status::IOError("waiter vanished");
-  }
-  Waiter w = std::move(it->second);
-  waiters_.erase(it);
-  if (!ok) {
-    return Status::IOError("rpc timeout");
-  }
-  if (w.failed) {
-    return Status::Unavailable("endpoint stopped");
-  }
-  if (payload != nullptr) {
-    *payload = std::move(w.payload);
-  }
-  return Status::OK();
 }
 
 Status RpcEndpoint::CompleteToken(NodeId dst, uint64_t token,

@@ -7,8 +7,9 @@
 //   * requests   — dispatched to the node's request handler (which may
 //                  reply inline or hand off to a worker pool and reply
 //                  later via Reply());
-//   * responses  — matched to a blocked Call() by request id;
-//   * token completions — complete a WaitToken() on the destination.
+//   * responses  — fulfill the Future of the matching AsyncCall()/Call()
+//                  by request id;
+//   * token completions — fulfill the token's Future on the destination.
 // Tokens implement the paper's Figure-10 append protocol: the client
 // allocates a token, passes it in the open/alloc request, RDMA-WRITEs the
 // block with imm = region id, and the StoC completes the token once the
@@ -31,6 +32,47 @@
 
 namespace nova {
 namespace rdma {
+
+class RpcEndpoint;
+
+/// Completion handle for one asynchronous request/response or token wait.
+/// Lightweight and copyable; every copy shares one completion slot, which
+/// an xchg thread fulfills when the response (or a failure) lands. A
+/// Future may be dropped without waiting — the completion is discarded —
+/// but it must not outlive its endpoint.
+class Future {
+ public:
+  Future() = default;  // invalid; Wait fails with InvalidArgument
+
+  bool valid() const { return state_ != nullptr; }
+  /// True once the result is available; never blocks.
+  bool ready() const;
+  /// Block until completion or timeout. On timeout the waiter slot is
+  /// withdrawn, so a late response is dropped and every copy of this
+  /// future observes the timeout. payload may be null. The payload is
+  /// moved out by the first Wait that asks for it (responses can be whole
+  /// fragments); later Waits still see the status but an empty payload.
+  Status Wait(std::string* payload, int timeout_ms = 30000);
+
+  /// An already-completed future carrying s (send-time failures complete
+  /// immediately so call sites handle exactly one error path).
+  static Future Failed(Status s);
+
+ private:
+  friend class RpcEndpoint;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    std::string payload;
+    /// Set for endpoint-registered futures so a timed-out Wait can
+    /// withdraw the waiter slot; null for Failed() futures.
+    RpcEndpoint* endpoint = nullptr;
+    uint64_t id = 0;
+  };
+  std::shared_ptr<State> state_;
+};
 
 class RpcEndpoint {
  public:
@@ -61,6 +103,11 @@ class RpcEndpoint {
   /// Join the xchg threads and fail all pending calls.
   void Stop();
 
+  /// Asynchronous request/response: send now, collect the response later
+  /// through the returned future (completed by the xchg threads). A send
+  /// failure yields an immediately-failed future.
+  Future AsyncCall(NodeId dst, const Slice& request);
+
   /// Synchronous request/response. Fails with Unavailable if dst is dead,
   /// IOError on timeout.
   Status Call(NodeId dst, const Slice& request, std::string* response,
@@ -72,10 +119,11 @@ class RpcEndpoint {
   /// Server side: complete the Call identified by (src, req_id).
   Status Reply(NodeId dst, uint64_t req_id, const Slice& response);
 
-  /// Token flow (see file comment). AllocToken registers a waiter slot.
-  uint64_t AllocToken();
-  Status WaitToken(uint64_t token, std::string* payload,
-                   int timeout_ms = 30000);
+  /// Token flow (see file comment). AllocToken registers a waiter slot;
+  /// *future completes when some node calls CompleteToken(token). An
+  /// abandoned token costs a dormant slot until its completion arrives;
+  /// reap one that can never complete with future.Wait(nullptr, 0).
+  uint64_t AllocToken(Future* future);
   /// Server side: complete a token on node dst.
   Status CompleteToken(NodeId dst, uint64_t token, const Slice& payload);
 
@@ -83,15 +131,20 @@ class RpcEndpoint {
   RdmaFabric* fabric() { return fabric_; }
 
  private:
-  struct Waiter {
-    bool done = false;
-    bool failed = false;
-    std::string payload;
-  };
+  friend class Future;
 
   void XchgLoop(int thread_index);
   void Dispatch(const InboundMessage& msg);
-  void CompleteWaiter(uint64_t id, const Slice& payload, bool failed);
+  /// Register a fresh waiter slot; the returned future completes when
+  /// CompleteWaiter runs for the slot's id.
+  Future RegisterWaiter(uint64_t* id);
+  /// Complete state exactly once (later attempts are no-ops).
+  static void Fulfill(const std::shared_ptr<Future::State>& state,
+                      Status status, std::string payload);
+  void CompleteWaiter(uint64_t id, const Slice& payload);
+  /// Withdraw a pending waiter (timeout path); fails its future with
+  /// IOError so every copy unblocks. False if already completed/withdrawn.
+  bool AbandonWaiter(uint64_t id);
 
   RdmaFabric* fabric_;
   NodeId node_;
@@ -103,9 +156,11 @@ class RpcEndpoint {
   std::atomic<bool> running_{false};
   std::vector<std::thread> xchg_threads_;
 
+  /// Pending completions by request/token id. An entry is removed when
+  /// its future is fulfilled (xchg thread), withdrawn on timeout, or
+  /// failed en masse by Stop().
   std::mutex waiters_mu_;
-  std::condition_variable waiters_cv_;
-  std::map<uint64_t, Waiter> waiters_;
+  std::map<uint64_t, std::shared_ptr<Future::State>> waiters_;
   std::atomic<uint64_t> next_id_{1};
 };
 

@@ -17,6 +17,7 @@
 #define NOVA_SSTABLE_FORMAT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,9 +60,24 @@ struct SSTableMetadata {
 /// the LTC and over a local device by the monolithic baseline.
 class BlockFetcher {
  public:
+  /// An in-flight asynchronous fetch started with StartFetch.
+  class Pending {
+   public:
+    virtual ~Pending() = default;
+    virtual Status Wait(std::string* out) = 0;
+  };
+
   virtual ~BlockFetcher() = default;
   virtual Status Fetch(int fragment, uint64_t offset, uint64_t size,
                        std::string* out) = 0;
+  /// Begin an asynchronous fetch of the same range. Returns null when the
+  /// fetcher has no async path (callers then skip readahead or fall back
+  /// to the synchronous Fetch).
+  virtual std::unique_ptr<Pending> StartFetch(int /*fragment*/,
+                                              uint64_t /*offset*/,
+                                              uint64_t /*size*/) {
+    return nullptr;
+  }
 };
 
 }  // namespace nova

@@ -36,12 +36,21 @@ std::string BlockCacheKey(uint32_t range_id, uint64_t file_number,
 }
 
 SSTableReader::SSTableReader(SSTableMetadata meta, BlockFetcher* fetcher,
-                             Cache* block_cache, uint32_t range_id)
+                             Cache* block_cache, uint32_t range_id,
+                             int readahead_blocks,
+                             ReadaheadCounters* readahead)
     : meta_(std::move(meta)),
       fetcher_(fetcher),
       block_cache_(block_cache),
-      range_id_(range_id) {
-  index_block_ = std::make_unique<Block>(meta_.index_contents);
+      range_id_(range_id),
+      readahead_blocks_(readahead_blocks),
+      readahead_(readahead) {}
+
+Block* SSTableReader::index_block() const {
+  std::call_once(index_once_, [this] {
+    index_block_ = std::make_unique<Block>(meta_.index_contents);
+  });
+  return index_block_.get();
 }
 
 bool SSTableReader::KeyMayMatch(const Slice& user_key) const {
@@ -75,13 +84,21 @@ Status SSTableReader::ReadBlock(const BlockHandle& handle,
   if (!s.ok()) {
     return s;
   }
-  if (contents.size() != handle.size) {
+  return InstallBlock(std::move(contents), handle.offset, handle.size,
+                      fill_cache, block);
+}
+
+Status SSTableReader::InstallBlock(std::string contents, uint64_t offset,
+                                   uint64_t size, bool fill_cache,
+                                   std::shared_ptr<Block>* block) const {
+  if (contents.size() != size) {
     return Status::Corruption("short block read");
   }
   if (block_cache_ != nullptr && fill_cache) {
     auto* b = new Block(std::move(contents));
     Cache::Handle* h = block_cache_->Insert(
-        cache_key, b, b->size() + sizeof(Block), &DeleteCachedBlock);
+        BlockCacheKey(range_id_, meta_.file_number, offset), b,
+        b->size() + sizeof(Block), &DeleteCachedBlock);
     *block = PinnedBlock(block_cache_, h);
   } else {
     *block = std::make_shared<Block>(std::move(contents));
@@ -89,12 +106,60 @@ Status SSTableReader::ReadBlock(const BlockHandle& handle,
   return Status::OK();
 }
 
+std::unique_ptr<SSTableReader::PendingBlock> SSTableReader::Prefetch(
+    const BlockHandle& handle) const {
+  if (block_cache_ != nullptr) {
+    // Already resident: the iterator's ReadBlock will hit; nothing to do.
+    Cache::Handle* h = block_cache_->Lookup(
+        BlockCacheKey(range_id_, meta_.file_number, handle.offset),
+        /*count=*/false);
+    if (h != nullptr) {
+      block_cache_->Release(h);
+      return nullptr;
+    }
+  }
+  int fragment;
+  uint64_t local_offset;
+  if (!meta_.Locate(handle.offset, &fragment, &local_offset)) {
+    return nullptr;
+  }
+  auto pending = fetcher_->StartFetch(fragment, local_offset, handle.size);
+  if (pending == nullptr) {
+    return nullptr;
+  }
+  if (readahead_ != nullptr) {
+    readahead_->issued.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto pb = std::make_unique<PendingBlock>();
+  pb->offset = handle.offset;
+  pb->size = handle.size;
+  pb->pending = std::move(pending);
+  return pb;
+}
+
+Status SSTableReader::FinishPrefetch(PendingBlock* pb,
+                                     std::shared_ptr<Block>* block,
+                                     bool fill_cache) const {
+  std::string contents;
+  Status s = pb->pending->Wait(&contents);
+  if (s.ok()) {
+    s = InstallBlock(std::move(contents), pb->offset, pb->size, fill_cache,
+                     block);
+  }
+  if (s.ok() && readahead_ != nullptr) {
+    readahead_->hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  return s;
+}
+
 bool SSTableReader::Get(const LookupKey& lookup_key, std::string* value,
                         Status* s, SequenceNumber* seq) {
+  // Bloom before index: a rejected key never materializes or seeks the
+  // index block (ROADMAP read-path follow-on).
   if (!KeyMayMatch(lookup_key.user_key())) {
     return false;
   }
-  std::unique_ptr<Iterator> index_iter(index_block_->NewIterator(&icmp_));
+  std::unique_ptr<Iterator> index_iter(index_block()->NewIterator(&icmp_));
   index_iter->Seek(lookup_key.internal_key());
   if (!index_iter->Valid()) {
     return false;
@@ -141,21 +206,27 @@ namespace {
 
 /// Two-level iterator: walks the index block; materializes one data block
 /// at a time through the reader (which consults the block cache first).
+/// With readahead_blocks > 0 it keeps that many upcoming data blocks in
+/// flight (issued to the StoC asynchronously) while the current block
+/// drains, so a forward scan overlaps compute with fragment round-trips.
 class SSTableIterator : public Iterator {
  public:
   SSTableIterator(const SSTableReader* reader,
                   const InternalKeyComparator* icmp, Iterator* index_iter,
-                  bool fill_cache)
+                  Iterator* peek_iter, bool fill_cache, int readahead_blocks)
       : reader_(reader),
         icmp_(icmp),
         index_iter_(index_iter),
-        fill_cache_(fill_cache) {}
+        peek_iter_(peek_iter),
+        fill_cache_(fill_cache),
+        readahead_blocks_(readahead_blocks) {}
 
   bool Valid() const override {
     return block_iter_ != nullptr && block_iter_->Valid();
   }
 
   void SeekToFirst() override {
+    forward_ = true;
     index_iter_->SeekToFirst();
     InitDataBlock();
     if (block_iter_) {
@@ -165,6 +236,7 @@ class SSTableIterator : public Iterator {
   }
 
   void SeekToLast() override {
+    forward_ = false;
     index_iter_->SeekToLast();
     InitDataBlock();
     if (block_iter_) {
@@ -174,6 +246,7 @@ class SSTableIterator : public Iterator {
   }
 
   void Seek(const Slice& target) override {
+    forward_ = true;
     index_iter_->Seek(target);
     InitDataBlock();
     if (block_iter_) {
@@ -183,11 +256,13 @@ class SSTableIterator : public Iterator {
   }
 
   void Next() override {
+    forward_ = true;
     block_iter_->Next();
     SkipEmptyBlocksForward();
   }
 
   void Prev() override {
+    forward_ = false;
     block_iter_->Prev();
     SkipEmptyBlocksBackward();
   }
@@ -210,12 +285,81 @@ class SSTableIterator : public Iterator {
       status_ = s;
       return;
     }
-    s = reader_->ReadBlock(handle, &block_, fill_cache_);
+    s = MaterializeBlock(handle);
     if (!s.ok()) {
       status_ = s;
       return;
     }
     block_iter_.reset(block_->NewIterator(icmp_));
+    IssueReadahead(handle.offset);
+  }
+
+  /// Serve the block from a matching in-flight prefetch when one exists
+  /// (a readahead hit), falling back to the reader's normal path.
+  Status MaterializeBlock(const BlockHandle& handle) {
+    for (auto it = prefetched_.begin(); it != prefetched_.end(); ++it) {
+      if ((*it)->offset != handle.offset) {
+        continue;
+      }
+      std::unique_ptr<SSTableReader::PendingBlock> pb = std::move(*it);
+      prefetched_.erase(it);
+      if (reader_->FinishPrefetch(pb.get(), &block_, fill_cache_).ok()) {
+        return Status::OK();
+      }
+      break;  // prefetch failed; retry through the synchronous path
+    }
+    return reader_->ReadBlock(handle, &block_, fill_cache_);
+  }
+
+  /// Keep the next readahead_blocks_ data blocks in flight. Prefetches
+  /// outside that window — blocks the scan has passed, or far-ahead
+  /// leftovers after a backward re-seek — are dropped (an abandoned
+  /// response is discarded by the RPC layer). Forward scans only: a
+  /// backward scan never revisits the blocks ahead of it, so prefetching
+  /// there would be pure waste.
+  void IssueReadahead(uint64_t /*current_offset*/) {
+    if (readahead_blocks_ <= 0 || !forward_) {
+      return;
+    }
+    // The window: the next readahead_blocks_ index entries.
+    std::vector<BlockHandle> wanted;
+    peek_iter_->Seek(index_iter_->key());
+    for (int i = 0; i < readahead_blocks_ && peek_iter_->Valid(); i++) {
+      peek_iter_->Next();
+      if (!peek_iter_->Valid()) {
+        break;
+      }
+      BlockHandle handle;
+      Slice contents = peek_iter_->value();
+      if (!handle.DecodeFrom(&contents).ok()) {
+        break;
+      }
+      wanted.push_back(handle);
+    }
+    auto in_window = [&wanted](uint64_t offset) {
+      for (const BlockHandle& h : wanted) {
+        if (h.offset == offset) {
+          return true;
+        }
+      }
+      return false;
+    };
+    for (auto it = prefetched_.begin(); it != prefetched_.end();) {
+      it = in_window((*it)->offset) ? it + 1 : prefetched_.erase(it);
+    }
+    for (const BlockHandle& handle : wanted) {
+      bool in_flight = false;
+      for (const auto& pb : prefetched_) {
+        in_flight |= pb->offset == handle.offset;
+      }
+      if (in_flight) {
+        continue;
+      }
+      auto pb = reader_->Prefetch(handle);
+      if (pb != nullptr) {
+        prefetched_.push_back(std::move(pb));
+      }
+    }
   }
 
   void SkipEmptyBlocksForward() {
@@ -249,17 +393,33 @@ class SSTableIterator : public Iterator {
   const SSTableReader* reader_;
   const InternalKeyComparator* icmp_;
   std::unique_ptr<Iterator> index_iter_;
+  /// Second cursor over the index block, used to peek ahead of
+  /// index_iter_ when issuing readahead without disturbing it; null when
+  /// this iterator has readahead disabled.
+  std::unique_ptr<Iterator> peek_iter_;
   std::shared_ptr<Block> block_;  // pins the cached entry while in use
   std::unique_ptr<Iterator> block_iter_;
   bool fill_cache_;
+  int readahead_blocks_;
+  /// Scan direction, maintained by the movement methods; readahead only
+  /// pays off while moving forward.
+  bool forward_ = true;
+  std::vector<std::unique_ptr<SSTableReader::PendingBlock>> prefetched_;
   Status status_;
 };
 
 }  // namespace
 
-Iterator* SSTableReader::NewIterator(bool fill_cache) const {
-  return new SSTableIterator(this, &icmp_, index_block_->NewIterator(&icmp_),
-                             fill_cache);
+Iterator* SSTableReader::NewIterator(bool fill_cache,
+                                     int readahead_blocks) const {
+  if (readahead_blocks < 0) {
+    readahead_blocks = readahead_blocks_;
+  }
+  // The peek cursor exists only when this iterator actually reads ahead.
+  return new SSTableIterator(
+      this, &icmp_, index_block()->NewIterator(&icmp_),
+      readahead_blocks > 0 ? index_block()->NewIterator(&icmp_) : nullptr,
+      fill_cache, readahead_blocks);
 }
 
 }  // namespace nova

@@ -7,7 +7,9 @@
 #ifndef NOVA_SSTABLE_SSTABLE_READER_H_
 #define NOVA_SSTABLE_SSTABLE_READER_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "mem/dbformat.h"
@@ -26,6 +28,13 @@ std::string BlockCachePrefix(uint32_t range_id, uint64_t file_number);
 std::string BlockCacheKey(uint32_t range_id, uint64_t file_number,
                           uint64_t offset);
 
+/// Scan-readahead accounting, shared by every reader of one range so the
+/// RangeEngine can roll the numbers into RangeStats.
+struct ReadaheadCounters {
+  std::atomic<uint64_t> issued{0};
+  std::atomic<uint64_t> hits{0};
+};
+
 class SSTableReader {
  public:
   /// fetcher must outlive the reader and any iterator it creates.
@@ -34,8 +43,13 @@ class SSTableReader {
   /// data-block reads from LTC memory instead of StoC round-trips; it must
   /// outlive the reader and any iterator. With a null cache every
   /// ReadBlock fetches from the StoC, as before.
+  /// readahead_blocks: how many data blocks a scan iterator prefetches
+  /// past its current position (0 = off); readahead (optional) receives
+  /// issued/hit counts and must outlive the reader.
   SSTableReader(SSTableMetadata meta, BlockFetcher* fetcher,
-                Cache* block_cache = nullptr, uint32_t range_id = 0);
+                Cache* block_cache = nullptr, uint32_t range_id = 0,
+                int readahead_blocks = 0,
+                ReadaheadCounters* readahead = nullptr);
 
   /// True if the bloom filter admits the key (or there is no filter).
   bool KeyMayMatch(const Slice& user_key) const;
@@ -50,7 +64,10 @@ class SSTableReader {
   /// serves hits from the block cache but leaves misses uncached —
   /// compactions stream every block once and must not flush the working
   /// set (nor cache blocks of files they are about to delete).
-  Iterator* NewIterator(bool fill_cache = true) const;
+  /// readahead_blocks: -1 = the reader's configured value; 0 disables
+  /// prefetching for this iterator; >0 overrides the depth.
+  Iterator* NewIterator(bool fill_cache = true,
+                        int readahead_blocks = -1) const;
 
   /// Fetch (or serve from the block cache) the data block at handle. The
   /// returned shared_ptr pins the cached entry, so a block stays usable
@@ -58,15 +75,45 @@ class SSTableReader {
   Status ReadBlock(const BlockHandle& handle, std::shared_ptr<Block>* block,
                    bool fill_cache = true) const;
 
+  /// --- Scan readahead (used by the iterator; exposed for tests) ---
+
+  /// One data block being prefetched ahead of a scan.
+  struct PendingBlock {
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    std::unique_ptr<BlockFetcher::Pending> pending;
+  };
+
+  /// Begin an async fetch of the block at handle. Returns null when the
+  /// block is already cached or the fetcher has no async path.
+  std::unique_ptr<PendingBlock> Prefetch(const BlockHandle& handle) const;
+  /// Complete a prefetch and hand the block over, inserting it into the
+  /// block cache like ReadBlock when fill_cache. Counts a readahead hit.
+  Status FinishPrefetch(PendingBlock* pb, std::shared_ptr<Block>* block,
+                        bool fill_cache = true) const;
+
+  int readahead_blocks() const { return readahead_blocks_; }
   const SSTableMetadata& meta() const { return meta_; }
 
  private:
+  /// The index block is materialized lazily so a bloom-rejected Get never
+  /// touches (or allocates) it — bloom-before-index on the read path.
+  Block* index_block() const;
+  /// Shared tail of ReadBlock/FinishPrefetch: validate the fetched bytes
+  /// and either insert them into the block cache (pinned) or hand back a
+  /// private block.
+  Status InstallBlock(std::string contents, uint64_t offset, uint64_t size,
+                      bool fill_cache, std::shared_ptr<Block>* block) const;
+
   SSTableMetadata meta_;
   BlockFetcher* fetcher_;
   Cache* block_cache_;
   uint32_t range_id_;
+  int readahead_blocks_;
+  ReadaheadCounters* readahead_;
   InternalKeyComparator icmp_;
-  std::unique_ptr<Block> index_block_;
+  mutable std::once_flag index_once_;
+  mutable std::unique_ptr<Block> index_block_;
 };
 
 }  // namespace nova

@@ -13,39 +13,90 @@ Status StocClient::SimpleCall(rdma::NodeId stoc, const std::string& req,
   return ParseResponse(*storage, body);
 }
 
-Status StocClient::AppendBlock(rdma::NodeId stoc, uint64_t file_id,
-                               const Slice& data, StocBlockHandle* handle) {
-  // 1. Ask the StoC for a buffer, registering our completion token.
-  uint64_t token = endpoint_->AllocToken();
-  std::string req;
-  req.push_back(kOpAllocBlock);
-  PutVarint64(&req, file_id);
-  PutVarint64(&req, data.size());
-  PutVarint64(&req, token);
+Status PendingRead::Wait(std::string* out, int timeout_ms) {
   std::string storage;
+  Status s = future_.Wait(&storage, timeout_ms);
+  if (!s.ok()) {
+    return s;
+  }
   Slice body;
-  Status s = SimpleCall(stoc, req, &body, &storage);
+  s = ParseResponse(storage, &body);
   if (!s.ok()) {
-    // Clean up the never-to-complete token registration.
-    endpoint_->WaitToken(token, nullptr, 0);
     return s;
   }
-  uint32_t mr_id;
-  if (!GetVarint32(&body, &mr_id)) {
-    endpoint_->WaitToken(token, nullptr, 0);
-    return Status::IOError("bad alloc-block response");
+  out->assign(body.data(), body.size());
+  return Status::OK();
+}
+
+PendingAppend& PendingAppend::operator=(PendingAppend&& o) noexcept {
+  if (this == &o) {
+    return *this;
   }
-  // 2. One-sided RDMA WRITE of the block, immediate data = buffer id.
-  s = endpoint_->fabric()->Write(endpoint_->node(), data,
-                                 rdma::RemoteAddr{stoc, mr_id, 0}, true,
-                                 mr_id);
-  if (!s.ok()) {
-    endpoint_->WaitToken(token, nullptr, 0);
-    return s;
+  Abandon();
+  client_ = o.client_;
+  stoc_ = o.stoc_;
+  data_ = o.data_;
+  alloc_ = std::move(o.alloc_);
+  flush_ack_ = std::move(o.flush_ack_);
+  armed_status_ = std::move(o.armed_status_);
+  armed_ = o.armed_;
+  settled_ = o.settled_;
+  o.client_ = nullptr;  // the moved-from append owns nothing to reap
+  return *this;
+}
+
+void PendingAppend::Abandon() {
+  if (client_ != nullptr && !settled_) {
+    flush_ack_.Wait(nullptr, 0);
+    settled_ = true;
+  }
+}
+
+Status PendingAppend::Arm() {
+  if (!valid()) {
+    return Status::InvalidArgument("invalid pending append");
+  }
+  armed_ = true;
+  std::string storage;
+  armed_status_ = alloc_.Wait(&storage);
+  Slice body;
+  if (armed_status_.ok()) {
+    armed_status_ = ParseResponse(storage, &body);
+  }
+  uint32_t mr_id = 0;
+  if (armed_status_.ok() && !GetVarint32(&body, &mr_id)) {
+    armed_status_ = Status::IOError("bad alloc-block response");
+  }
+  if (armed_status_.ok()) {
+    // 2. One-sided RDMA WRITE of the block, immediate data = buffer id.
+    rdma::RpcEndpoint* ep = client_->endpoint();
+    armed_status_ = ep->fabric()->Write(ep->node(), data_,
+                                        rdma::RemoteAddr{stoc_, mr_id, 0},
+                                        true, mr_id);
+  }
+  if (!armed_status_.ok()) {
+    flush_ack_.Wait(nullptr, 0);  // reap the never-to-complete token
+    settled_ = true;
+  }
+  return armed_status_;
+}
+
+Status PendingAppend::Wait(StocBlockHandle* handle, int timeout_ms) {
+  if (!valid()) {
+    return Status::InvalidArgument("invalid pending append");
+  }
+  if (!armed_) {
+    Status s = Arm();
+    if (!s.ok()) {
+      return s;
+    }
+  } else if (!armed_status_.ok()) {
+    return armed_status_;
   }
   // 3-4. The StoC flushes and completes our token with the block handle.
   std::string payload;
-  s = endpoint_->WaitToken(token, &payload);
+  Status s = flush_ack_.Wait(&payload, timeout_ms);
+  settled_ = true;  // waited (or timed out, which withdrew the slot)
   if (!s.ok()) {
     return s;
   }
@@ -56,22 +107,95 @@ Status StocClient::AppendBlock(rdma::NodeId stoc, uint64_t file_id,
   return Status::OK();
 }
 
-Status StocClient::ReadBlock(rdma::NodeId stoc, uint64_t file_id,
-                             uint64_t offset, uint64_t size,
-                             std::string* out) {
+PendingAppend StocClient::AsyncAppendBlock(rdma::NodeId stoc,
+                                           uint64_t file_id,
+                                           const Slice& data) {
+  // 1. Ask the StoC for a buffer, registering our completion token.
+  PendingAppend pending;
+  pending.client_ = this;
+  pending.stoc_ = stoc;
+  pending.data_ = data;
+  uint64_t token = endpoint_->AllocToken(&pending.flush_ack_);
+  std::string req;
+  req.push_back(kOpAllocBlock);
+  PutVarint64(&req, file_id);
+  PutVarint64(&req, data.size());
+  PutVarint64(&req, token);
+  pending.alloc_ = endpoint_->AsyncCall(stoc, req);
+  return pending;
+}
+
+Status StocClient::AppendBlock(rdma::NodeId stoc, uint64_t file_id,
+                               const Slice& data, StocBlockHandle* handle) {
+  return AsyncAppendBlock(stoc, file_id, data).Wait(handle);
+}
+
+PendingRead StocClient::AsyncReadBlock(rdma::NodeId stoc, uint64_t file_id,
+                                       uint64_t offset, uint64_t size) {
   read_block_calls_.fetch_add(1, std::memory_order_relaxed);
   std::string req;
   req.push_back(kOpReadBlock);
   PutVarint64(&req, file_id);
   PutVarint64(&req, offset);
   PutVarint64(&req, size);
-  std::string storage;
-  Slice body;
-  Status s = SimpleCall(stoc, req, &body, &storage);
-  if (!s.ok()) {
-    return s;
+  PendingRead pending;
+  pending.future_ = endpoint_->AsyncCall(stoc, req);
+  return pending;
+}
+
+Status StocClient::ReadBlock(rdma::NodeId stoc, uint64_t file_id,
+                             uint64_t offset, uint64_t size,
+                             std::string* out) {
+  return AsyncReadBlock(stoc, file_id, offset, size).Wait(out);
+}
+
+Status StocClient::GatherReads(std::vector<GatherRead>* reads,
+                               int timeout_ms) {
+  struct Flight {
+    size_t index;
+    PendingRead pending;
+  };
+  // Wave w issues every unfinished entry's w-th replica concurrently, then
+  // collects them; only entries that failed wave w (and still have
+  // candidates) roll into wave w+1. The first wave therefore runs the
+  // whole batch in parallel, and failover costs one extra wave per lost
+  // replica instead of serializing the batch.
+  size_t wave = 0;
+  bool any_pending = true;
+  while (any_pending) {
+    std::vector<Flight> flights;
+    for (size_t i = 0; i < reads->size(); i++) {
+      GatherRead& r = (*reads)[i];
+      if (wave == 0) {
+        r.status = Status::Unavailable("no replicas");
+      } else if (r.status.ok()) {
+        continue;
+      }
+      if (wave >= r.replicas.size()) {
+        continue;
+      }
+      const GatherRead::Target& t = r.replicas[wave];
+      flights.push_back(
+          Flight{i, AsyncReadBlock(t.stoc, t.file_id, r.offset, r.size)});
+    }
+    for (Flight& f : flights) {
+      GatherRead& r = (*reads)[f.index];
+      r.status = f.pending.Wait(&r.data, timeout_ms);
+    }
+    wave++;
+    any_pending = false;
+    for (const GatherRead& r : *reads) {
+      if (!r.status.ok() && wave < r.replicas.size()) {
+        any_pending = true;
+        break;
+      }
+    }
   }
-  out->assign(body.data(), body.size());
+  for (const GatherRead& r : *reads) {
+    if (!r.status.ok()) {
+      return r.status;
+    }
+  }
   return Status::OK();
 }
 

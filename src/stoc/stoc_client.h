@@ -21,6 +21,76 @@ struct StocStats {
   double cpu_utilization = 0;
 };
 
+class StocClient;
+
+/// An in-flight ReadBlock. Wait() parses the StoC response frame.
+class PendingRead {
+ public:
+  PendingRead() = default;
+
+  bool valid() const { return future_.valid(); }
+  Status Wait(std::string* out, int timeout_ms = 30000);
+
+ private:
+  friend class StocClient;
+  rdma::Future future_;
+};
+
+/// An in-flight AppendBlock following the Figure-10 flow. The block data
+/// slice must stay valid until Arm() returns. Typical batch usage:
+/// AsyncAppendBlock all, Arm() all (each waits only the short buffer-grant
+/// RPC, then issues the one-sided data write), Wait() all — the slow StoC
+/// flushes then overlap across the whole batch.
+class PendingAppend {
+ public:
+  PendingAppend() = default;
+  /// Dropping an append that was never driven to completion withdraws its
+  /// flush-token slot so the endpoint's waiter map cannot grow unbounded.
+  ~PendingAppend() { Abandon(); }
+  PendingAppend(PendingAppend&& o) noexcept { *this = std::move(o); }
+  PendingAppend& operator=(PendingAppend&& o) noexcept;
+  PendingAppend(const PendingAppend&) = delete;
+  PendingAppend& operator=(const PendingAppend&) = delete;
+
+  bool valid() const { return client_ != nullptr; }
+  /// Step 2: collect the buffer grant and issue the one-sided RDMA WRITE
+  /// of the data (immediate data = buffer id). Call exactly once.
+  Status Arm();
+  /// Step 3: wait for the flush acknowledgment; decodes *handle. Reaps
+  /// the completion token on failure, so no cleanup call is needed.
+  Status Wait(StocBlockHandle* handle, int timeout_ms = 30000);
+
+ private:
+  friend class StocClient;
+  void Abandon();
+
+  StocClient* client_ = nullptr;
+  rdma::NodeId stoc_ = -1;
+  Slice data_;
+  rdma::Future alloc_;
+  rdma::Future flush_ack_;
+  Status armed_status_;
+  bool armed_ = false;
+  /// True once the flush token cannot dangle: the flush ack was waited
+  /// for, or the token was reaped after a failure/abandonment.
+  bool settled_ = false;
+};
+
+/// One read in a GatherReads batch: candidate replica locations (tried in
+/// order) plus the byte range; status/data are filled by the gather.
+struct GatherRead {
+  struct Target {
+    rdma::NodeId stoc = -1;
+    uint64_t file_id = 0;
+  };
+  std::vector<Target> replicas;
+  uint64_t offset = 0;
+  uint64_t size = 0;  // 0 = whole file
+
+  Status status;
+  std::string data;
+};
+
 class StocClient {
  public:
   /// endpoint is shared with the owning component (its xchg threads route
@@ -38,6 +108,22 @@ class StocClient {
   /// Read [offset, offset+size) of a persistent file. size 0 = whole file.
   Status ReadBlock(rdma::NodeId stoc, uint64_t file_id, uint64_t offset,
                    uint64_t size, std::string* out);
+
+  /// --- Asynchronous data path (the fan-out substrate: scatter writes,
+  /// parity gathers, scan readahead all ride on these) ---
+
+  /// Begin an append (step 1 of Figure 10: the buffer-grant RPC plus the
+  /// completion-token registration). See PendingAppend for the protocol.
+  PendingAppend AsyncAppendBlock(rdma::NodeId stoc, uint64_t file_id,
+                                 const Slice& data);
+  /// Begin a read; collect it with PendingRead::Wait.
+  PendingRead AsyncReadBlock(rdma::NodeId stoc, uint64_t file_id,
+                             uint64_t offset, uint64_t size);
+  /// Issue every read concurrently, failing each entry over to its next
+  /// replica in waves until candidates are exhausted. Fills each entry's
+  /// status/data; returns OK iff every entry succeeded (the first failure
+  /// otherwise — all entries are still driven to completion).
+  Status GatherReads(std::vector<GatherRead>* reads, int timeout_ms = 30000);
 
   /// Lifetime count of ReadBlock RPCs issued through this client (the
   /// block-cache benchmarks report StoC reads avoided with it).

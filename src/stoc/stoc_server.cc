@@ -431,7 +431,8 @@ void StocServer::DoCopyFileTo(rdma::NodeId src, uint64_t req_id,
     }
     // Append the whole file as one block on the destination StoC using the
     // standard client flow (StoC-to-StoC RDMA, paper Section 9).
-    uint64_t token = endpoint_->AllocToken();
+    rdma::Future flush_ack;
+    uint64_t token = endpoint_->AllocToken(&flush_ack);
     std::string req;
     req.push_back(kOpAllocBlock);
     PutVarint64(&req, file_id);
@@ -452,7 +453,9 @@ void StocServer::DoCopyFileTo(rdma::NodeId src, uint64_t req_id,
                          true, mr_id);
     }
     if (s.ok()) {
-      s = endpoint_->WaitToken(token, nullptr);
+      s = flush_ack.Wait(nullptr);
+    } else {
+      flush_ack.Wait(nullptr, 0);  // reap the never-to-complete token
     }
     if (!s.ok()) {
       endpoint_->Reply(src, req_id, ErrorResponse(s));

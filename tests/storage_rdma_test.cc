@@ -271,14 +271,15 @@ TEST_F(RpcTest, TokenCompletion) {
   char region[256];
   fabric_.RegisterMemory(1, 3, region, sizeof(region));
 
-  uint64_t token = client_->AllocToken();
+  rdma::Future completion;
+  uint64_t token = client_->AllocToken(&completion);
   ASSERT_LT(token, 1u << 31);  // fits in imm for the test
   ASSERT_TRUE(fabric_
                   .Write(0, Slice("block-bytes"), rdma::RemoteAddr{1, 3, 0},
                          true, static_cast<uint32_t>(token))
                   .ok());
   std::string payload;
-  ASSERT_TRUE(client_->WaitToken(token, &payload).ok());
+  ASSERT_TRUE(completion.Wait(&payload).ok());
   EXPECT_EQ(payload, "flushed");
   EXPECT_EQ(memcmp(region, "block-bytes", 11), 0);
 }
