@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baseline/baseline.h"
 #include "bench_core/workload.h"
@@ -25,6 +27,10 @@ struct BenchConfig {
   /// Warm-up window run before the measurement window (cache-sensitive
   /// benches); < 0 = the bench's default (half the measurement window).
   double warmup_seconds = -1;
+  /// Machine-readable results: benches that support it also write their
+  /// numbers to this path as JSON (e.g. BENCH_compaction.json) so perf
+  /// regressions are diffable across PRs. Empty = stdout only.
+  std::string json_path;
 
   double WarmupSeconds() const {
     return warmup_seconds < 0 ? seconds / 2 : warmup_seconds;
@@ -44,10 +50,54 @@ inline BenchConfig ParseArgs(int argc, char** argv) {
       cfg.num_keys = n;
     } else if (sscanf(argv[i], "--threads=%lld", &n) == 1) {
       cfg.client_threads = static_cast<int>(n);
+    } else if (strncmp(argv[i], "--json=", 7) == 0) {
+      cfg.json_path = argv[i] + 7;
     }
   }
   return cfg;
 }
+
+/// Flat JSON artifact: one object per measured configuration, numeric
+/// fields only. Kept deliberately simple — labels must not contain
+/// quotes or backslashes.
+class JsonArtifact {
+ public:
+  explicit JsonArtifact(std::string bench) : bench_(std::move(bench)) {}
+
+  void Add(std::string label,
+           std::vector<std::pair<std::string, double>> fields) {
+    rows_.emplace_back(std::move(label), std::move(fields));
+  }
+
+  /// Writes {"bench": ..., "results": [...]}; no-op on an empty path (no
+  /// --json flag given).
+  void Write(const std::string& path) const {
+    if (path.empty()) {
+      return;
+    }
+    FILE* f = fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n", bench_.c_str());
+    for (size_t i = 0; i < rows_.size(); i++) {
+      fprintf(f, "    {\"label\": \"%s\"", rows_[i].first.c_str());
+      for (const auto& [key, value] : rows_[i].second) {
+        fprintf(f, ", \"%s\": %.6g", key.c_str(), value);
+      }
+      fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    fprintf(f, "  ]\n}\n");
+    fclose(f);
+    printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+      rows_;
+};
 
 /// Paper-scaled cluster defaults: per-node CPU throttle, HDD-like device.
 inline coord::ClusterOptions PaperScaledOptions(int ltcs, int stocs) {

@@ -1,13 +1,16 @@
 // Microbenchmarks of the substrate components (google-benchmark):
 // memtable insert/lookup, bloom filter, SSTable build/read, slab
-// allocator, log record codec, the RDMA fabric emulation, and the
-// StoC scan path with/without readahead.
+// allocator, log record codec, the RDMA fabric emulation, the StoC scan
+// path with/without readahead, and the pipelined compaction executor.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "logc/log_record.h"
+#include "lsm/compaction.h"
 #include "lsm/table_io.h"
 #include "mem/memtable.h"
 #include "rdma/fabric.h"
@@ -240,6 +243,134 @@ BENCHMARK(BM_SSTableScanReadahead)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+/// Four overlapping L0 SSTables scattered across four StoCs, compacted
+/// into L1 by the CompactionExecutor. Built once and leaked, like ScanEnv.
+struct CompactionEnv {
+  static constexpr int kNumStocs = 4;
+  static constexpr int kNumInputs = 4;
+  static constexpr uint64_t kKeysPerInput = 512;
+
+  rdma::RdmaFabric fabric;
+  std::vector<std::unique_ptr<SimulatedDevice>> devices;
+  std::vector<std::unique_ptr<BlockStore>> stores;
+  std::vector<std::unique_ptr<stoc::StocServer>> servers;
+  std::unique_ptr<rdma::RpcEndpoint> endpoint;
+  std::unique_ptr<stoc::StocClient> client;
+  std::vector<lsm::FileMetaRef> inputs;
+
+  static CompactionEnv* Get() {
+    static CompactionEnv* env = new CompactionEnv();
+    return env;
+  }
+
+  lsm::PlacementOptions PlacementOpts() const {
+    lsm::PlacementOptions popt;
+    for (int i = 0; i < kNumStocs; i++) {
+      popt.stocs.push_back(2000 + i);
+    }
+    popt.rho = 2;
+    popt.power_of_d = false;
+    popt.adjust_rho_by_size = false;
+    return popt;
+  }
+
+  CompactionEnv() {
+    DeviceConfig dcfg;
+    dcfg.bandwidth_bytes_per_sec = 64.0 * 1024 * 1024;
+    dcfg.seek_latency_us = 200;
+    for (int i = 0; i < kNumStocs; i++) {
+      devices.push_back(std::make_unique<SimulatedDevice>(
+          "compact-d" + std::to_string(i), dcfg));
+      stores.push_back(std::make_unique<BlockStore>());
+      servers.push_back(std::make_unique<stoc::StocServer>(
+          &fabric, 2000 + i, devices[i].get(), stores[i].get(),
+          stoc::StocServerOptions{}));
+      servers[i]->Start();
+    }
+    fabric.AddNode(10);
+    endpoint = std::make_unique<rdma::RpcEndpoint>(&fabric, 10, 2, nullptr);
+    endpoint->set_request_handler(
+        [](rdma::NodeId, uint64_t, const Slice&) {});
+    endpoint->Start();
+    client = std::make_unique<stoc::StocClient>(endpoint.get());
+
+    // Input i holds keys j with j % kNumInputs == i: fully interleaved
+    // ranges, so the merge really alternates across all inputs.
+    lsm::SSTablePlacer placer(client.get(), PlacementOpts());
+    std::string value(512, 'v');
+    for (int i = 0; i < kNumInputs; i++) {
+      SSTableBuilder builder;
+      for (uint64_t j = i; j < kKeysPerInput * kNumInputs; j += kNumInputs) {
+        std::string ikey;
+        AppendInternalKey(&ikey,
+                          ParsedInternalKey(Key(j), j + 1, kTypeValue));
+        builder.Add(ikey, value);
+      }
+      auto built = builder.Finish(/*file_number=*/i + 1, /*num_fragments=*/2);
+      auto out = std::make_shared<lsm::FileMetaData>();
+      Status s = placer.Write(std::move(built), 0, 0, out.get());
+      if (!s.ok()) {
+        fprintf(stderr, "compaction env setup failed: %s\n",
+                s.ToString().c_str());
+        abort();
+      }
+      inputs.push_back(out);
+    }
+  }
+
+  void DeleteOutputs(const lsm::CompactionResult& result) {
+    for (const auto& meta : result.outputs) {
+      for (const auto& replicas : meta.fragments) {
+        for (const auto& loc : replicas) {
+          client->DeleteFile(loc.stoc_id, loc.file_id, false);
+        }
+      }
+      for (const auto& loc : meta.meta_replicas) {
+        client->DeleteFile(loc.stoc_id, loc.file_id, false);
+      }
+      if (meta.parity.valid()) {
+        client->DeleteFile(meta.parity.stoc_id, meta.parity.file_id, false);
+      }
+    }
+  }
+};
+
+/// One full 4-way compaction per iteration; Arg = job.readahead_blocks
+/// (0 = serial input gather and synchronous output writes).
+void BM_CompactionPipeline(benchmark::State& state) {
+  CompactionEnv* env = CompactionEnv::Get();
+  static uint64_t next_output_number = 1000;
+  for (auto _ : state) {
+    lsm::TableCache cache(env->client.get());
+    lsm::SSTablePlacer placer(env->client.get(), env->PlacementOpts());
+    lsm::CompactionExecutor exec(&cache, &placer, /*throttle=*/nullptr);
+    lsm::CompactionJob job;
+    job.input_level = 0;
+    job.inputs = env->inputs;
+    job.max_output_bytes = 256 << 10;
+    job.is_last_level = true;
+    job.first_output_number = next_output_number;
+    next_output_number += 64;
+    job.readahead_blocks = static_cast<int>(state.range(0));
+    lsm::CompactionResult result;
+    Status s = exec.Run(job, &result);
+    if (!s.ok() || result.outputs.empty()) {
+      state.SkipWithError("compaction failed");
+      break;
+    }
+    state.PauseTiming();
+    env->DeleteOutputs(result);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * CompactionEnv::kKeysPerInput *
+                          CompactionEnv::kNumInputs);
+}
+BENCHMARK(BM_CompactionPipeline)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ZipfianNext(benchmark::State& state) {
   ZipfianGenerator gen(1000000, 0.99);
   Random rng(4);
@@ -252,4 +383,30 @@ BENCHMARK(BM_ZipfianNext);
 }  // namespace
 }  // namespace nova
 
-BENCHMARK_MAIN();
+// Same --json=<path> flag as the cluster benches (bench_common.h), mapped
+// onto google-benchmark's native JSON reporter. Everything else passes
+// through to benchmark::Initialize unchanged.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  std::vector<char*> args;
+  storage.reserve(argc + 1);
+  for (int i = 0; i < argc; i++) {
+    if (strncmp(argv[i], "--json=", 7) == 0) {
+      storage.push_back(std::string("--benchmark_out=") + (argv[i] + 7));
+      storage.push_back("--benchmark_out_format=json");
+    } else {
+      storage.push_back(argv[i]);
+    }
+  }
+  for (auto& s : storage) {
+    args.push_back(s.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,12 +1,14 @@
 #include "lsm/compaction.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <memory>
 #include <numeric>
 #include <set>
 
 #include "sim/cost_model.h"
+#include "sstable/block.h"
 #include "sstable/merging_iterator.h"
 #include "util/coding.h"
 #include "util/logging.h"
@@ -60,6 +62,7 @@ std::string CompactionJob::Serialize() const {
   PutVarint64(&out, max_output_bytes);
   PutVarint32(&out, is_last_level ? 1 : 0);
   PutVarint64(&out, first_output_number);
+  PutVarint32(&out, static_cast<uint32_t>(std::max(0, readahead_blocks)));
   return out;
 }
 
@@ -103,12 +106,15 @@ Status CompactionJob::Deserialize(Slice input) {
     }
     boundaries.push_back(b.ToString());
   }
+  uint32_t readahead;
   if (!GetVarint64(&input, &max_output_bytes) ||
       !GetVarint32(&input, &last) ||
-      !GetVarint64(&input, &first_output_number)) {
+      !GetVarint64(&input, &first_output_number) ||
+      !GetVarint32(&input, &readahead)) {
     return Status::Corruption("bad compaction job tail");
   }
   is_last_level = last != 0;
+  readahead_blocks = static_cast<int>(readahead);
   return Status::OK();
 }
 
@@ -120,6 +126,9 @@ std::string CompactionResult::Serialize() const {
   }
   PutVarint64(&out, records_in);
   PutVarint64(&out, records_out);
+  PutVarint64(&out, gather_waves);
+  PutVarint64(&out, bytes_read);
+  PutVarint64(&out, bytes_written);
   return out;
 }
 
@@ -138,7 +147,10 @@ Status CompactionResult::Deserialize(Slice input) {
     outputs.push_back(std::move(meta));
   }
   if (!GetVarint64(&input, &records_in) ||
-      !GetVarint64(&input, &records_out)) {
+      !GetVarint64(&input, &records_out) ||
+      !GetVarint64(&input, &gather_waves) ||
+      !GetVarint64(&input, &bytes_read) ||
+      !GetVarint64(&input, &bytes_written)) {
     return Status::Corruption("bad compaction result tail");
   }
   return Status::OK();
@@ -259,6 +271,267 @@ std::vector<CompactionJob> CompactionPicker::Pick(const VersionSet& vs,
   return jobs;
 }
 
+namespace {
+
+/// Stage-1 pipeline iterator over one compaction input file. Unlike the
+/// scan iterator (which re-seeks its readahead window on every block
+/// because scans move unpredictably), a compaction drains the file front
+/// to back exactly once, so this iterator keeps a simple FIFO of the next
+/// `depth` data blocks in flight and pops the head as the merge advances.
+/// A failed prefetch falls back to the reader's synchronous path, which
+/// keeps replica failover and parity reconstruction.
+class CompactionFileIterator : public Iterator {
+ public:
+  CompactionFileIterator(const SSTableReader* reader, int depth,
+                         ReadaheadCounters* counters,
+                         sim::CpuThrottle* throttle,
+                         std::atomic<uint64_t>* gather_waves,
+                         std::atomic<uint64_t>* bytes_read)
+      : reader_(reader),
+        depth_(depth),
+        counters_(counters),
+        throttle_(throttle),
+        gather_waves_(gather_waves),
+        bytes_read_(bytes_read),
+        index_(std::string(reader->meta().index_contents)) {
+    std::unique_ptr<Iterator> it(index_.NewIterator(&icmp_));
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      BlockHandle h;
+      Slice v = it->value();
+      if (h.DecodeFrom(&v).ok()) {
+        keys_.emplace_back(it->key().data(), it->key().size());
+        handles_.push_back(h);
+      }
+    }
+  }
+
+  bool Valid() const override {
+    return block_iter_ != nullptr && block_iter_->Valid();
+  }
+
+  void SeekToFirst() override {
+    forward_ = true;
+    cur_ = 0;
+    inflight_.clear();
+    next_issue_ = 0;
+    InitBlock();
+    if (block_iter_) {
+      block_iter_->SeekToFirst();
+    }
+    SkipForward();
+  }
+
+  void Seek(const Slice& target) override {
+    forward_ = true;
+    // First block whose index key (>= every key in the block) admits
+    // target.
+    size_t lo = 0, hi = handles_.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (icmp_.Compare(Slice(keys_[mid]), target) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    cur_ = lo;
+    inflight_.clear();
+    next_issue_ = cur_;
+    InitBlock();
+    if (block_iter_) {
+      block_iter_->Seek(target);
+    }
+    SkipForward();
+  }
+
+  void SeekToLast() override {
+    forward_ = false;
+    inflight_.clear();
+    cur_ = handles_.empty() ? 0 : handles_.size() - 1;
+    next_issue_ = handles_.size();
+    InitBlock();
+    if (block_iter_) {
+      block_iter_->SeekToLast();
+    }
+    SkipBackward();
+  }
+
+  void Next() override {
+    forward_ = true;
+    block_iter_->Next();
+    SkipForward();
+  }
+
+  void Prev() override {
+    forward_ = false;
+    block_iter_->Prev();
+    SkipBackward();
+  }
+
+  Slice key() const override { return block_iter_->key(); }
+  Slice value() const override { return block_iter_->value(); }
+  Status status() const override { return status_; }
+
+ private:
+  void InitBlock() {
+    block_iter_.reset();
+    block_.reset();
+    if (cur_ >= handles_.size()) {
+      return;
+    }
+    Status s = Materialize(cur_);
+    if (!s.ok()) {
+      status_ = s;
+      return;
+    }
+    block_iter_.reset(block_->NewIterator(&icmp_));
+    TopUp();
+  }
+
+  /// Serve block idx from the head of the in-flight FIFO when possible;
+  /// otherwise fetch synchronously (failover + parity path).
+  Status Materialize(size_t idx) {
+    const BlockHandle& handle = handles_[idx];
+    while (!inflight_.empty() && inflight_.front().first < idx) {
+      inflight_.pop_front();  // passed without materializing (empty block)
+    }
+    if (!inflight_.empty() && inflight_.front().first > idx) {
+      inflight_.clear();  // moved backwards: the window is all stale
+    }
+    if (next_issue_ <= idx) {
+      next_issue_ = idx + 1;
+    }
+    if (!inflight_.empty() && inflight_.front().first == idx) {
+      auto pb = std::move(inflight_.front().second);
+      inflight_.pop_front();
+      if (reader_
+              ->FinishPrefetch(pb.get(), &block_, /*fill_cache=*/false,
+                               counters_)
+              .ok()) {
+        Account(handle);
+        return Status::OK();
+      }
+    }
+    Status s = reader_->ReadBlock(handle, &block_, /*fill_cache=*/false);
+    if (s.ok()) {
+      Account(handle);
+    }
+    return s;
+  }
+
+  void Account(const BlockHandle& handle) {
+    bytes_read_->fetch_add(handle.size, std::memory_order_relaxed);
+    throttle_->Charge(sim::DefaultCostModel().compaction_read_block_us);
+  }
+
+  /// Refill the in-flight window up to depth_. One refill that issues at
+  /// least one new fetch counts as a gather wave.
+  void TopUp() {
+    if (depth_ <= 0 || !forward_) {
+      return;
+    }
+    int issued = 0;
+    while (static_cast<int>(inflight_.size()) < depth_ &&
+           next_issue_ < handles_.size()) {
+      size_t idx = next_issue_++;
+      auto pb = reader_->Prefetch(handles_[idx], counters_);
+      if (pb != nullptr) {  // null = already cached, nothing to overlap
+        inflight_.emplace_back(idx, std::move(pb));
+        issued++;
+      }
+    }
+    if (issued > 0) {
+      gather_waves_->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void SkipForward() {
+    while (block_iter_ == nullptr || !block_iter_->Valid()) {
+      if (cur_ + 1 >= handles_.size()) {
+        block_iter_.reset();
+        return;
+      }
+      cur_++;
+      InitBlock();
+      if (block_iter_) {
+        block_iter_->SeekToFirst();
+      }
+    }
+  }
+
+  void SkipBackward() {
+    while (block_iter_ == nullptr || !block_iter_->Valid()) {
+      if (cur_ == 0) {
+        block_iter_.reset();
+        return;
+      }
+      cur_--;
+      InitBlock();
+      if (block_iter_) {
+        block_iter_->SeekToLast();
+      }
+    }
+  }
+
+  const SSTableReader* reader_;
+  int depth_;
+  ReadaheadCounters* counters_;
+  sim::CpuThrottle* throttle_;
+  std::atomic<uint64_t>* gather_waves_;
+  std::atomic<uint64_t>* bytes_read_;
+  InternalKeyComparator icmp_;
+  Block index_;  // private copy; the reader's index block is not exposed
+  std::vector<std::string> keys_;
+  std::vector<BlockHandle> handles_;
+  size_t cur_ = 0;
+  size_t next_issue_ = 0;
+  bool forward_ = true;
+  std::deque<std::pair<size_t, std::unique_ptr<SSTableReader::PendingBlock>>>
+      inflight_;
+  std::shared_ptr<Block> block_;
+  std::unique_ptr<Iterator> block_iter_;
+  Status status_;
+};
+
+}  // namespace
+
+CompactionInputReader::CompactionInputReader(TableCache* cache,
+                                             int readahead_blocks,
+                                             sim::CpuThrottle* throttle)
+    : cache_(cache),
+      readahead_blocks_(readahead_blocks),
+      throttle_(throttle == nullptr ? sim::CpuThrottle::Unlimited()
+                                    : throttle) {}
+
+CompactionInputReader::~CompactionInputReader() = default;
+
+Status CompactionInputReader::OpenInput(const FileMetaRef& file,
+                                        Iterator** iter) {
+  TableCache::Handle handle;
+  Status s = cache_->GetReader(file, &handle);
+  if (!s.ok()) {
+    return s;
+  }
+  pins_.push_back(handle);
+  // Stream, don't cache: a compaction reads every input block exactly
+  // once and then deletes the file — filling the block cache would evict
+  // the hot read-path working set for nothing. Depth 0 degrades to the
+  // serial fetch-per-block loop; either way the private counters keep
+  // compaction gathers out of the scan-readahead stats.
+  *iter = new CompactionFileIterator(handle.reader, readahead_blocks_,
+                                     &counters_, throttle_, &gather_waves_,
+                                     &bytes_read_);
+  return Status::OK();
+}
+
+uint64_t CompactionInputReader::gather_waves() const {
+  return gather_waves_.load(std::memory_order_relaxed);
+}
+
+uint64_t CompactionInputReader::bytes_read() const {
+  return bytes_read_.load(std::memory_order_relaxed);
+}
+
 CompactionExecutor::CompactionExecutor(TableCache* cache,
                                        SSTablePlacer* placer,
                                        sim::CpuThrottle* throttle)
@@ -270,25 +543,16 @@ CompactionExecutor::CompactionExecutor(TableCache* cache,
 Status CompactionExecutor::Run(const CompactionJob& job,
                                CompactionResult* result) {
   InternalKeyComparator icmp;
+  CompactionInputReader inputs(cache_, job.readahead_blocks, throttle_);
   std::vector<Iterator*> children;
-  std::vector<TableCache::Handle> pins;  // keep readers alive for the run
   auto open_all = [&](const std::vector<FileMetaRef>& files) -> Status {
     for (const auto& f : files) {
-      TableCache::Handle handle;
-      Status s = cache_->GetReader(f, &handle);
+      Iterator* it = nullptr;
+      Status s = inputs.OpenInput(f, &it);
       if (!s.ok()) {
         return s;
       }
-      pins.push_back(handle);
-      // Stream, don't cache: a compaction reads every input block exactly
-      // once and then deletes the file — filling the block cache would
-      // evict the hot read-path working set for nothing. Readahead is
-      // pinned to 0 so compaction streams don't pollute the scan-path
-      // readahead_issued/hits counters (give compaction its own counters
-      // before pipelining it).
-      children.push_back(
-          handle.reader->NewIterator(/*fill_cache=*/false,
-                                     /*readahead_blocks=*/0));
+      children.push_back(it);
     }
     return Status::OK();
   };
@@ -316,6 +580,24 @@ Status CompactionExecutor::Run(const CompactionJob& job,
   PlacementOptions popt = placer_->options();
   SSTableBuilderOptions bopt;
 
+  // Stage 3: finished outputs are armed through StartWrite and their
+  // flush acks collected while the merge continues; only when
+  // kMaxInflightOutputs batches are already in flight does the merge
+  // wait for the oldest. Dropping `armed` on an error path abandons the
+  // in-flight appends safely. Serial mode (readahead 0) writes inline.
+  const bool pipelined = job.readahead_blocks > 0;
+  std::deque<PendingSSTable> armed;
+  auto drain_oldest = [&]() -> Status {
+    FileMetaData out;
+    Status ws = armed.front().Wait(&out);
+    armed.pop_front();
+    if (!ws.ok()) {
+      return ws;
+    }
+    result->bytes_written += out.data_size;
+    result->outputs.push_back(std::move(out));
+    return Status::OK();
+  };
   auto finish_output = [&]() -> Status {
     if (builder == nullptr || builder->empty()) {
       builder.reset();
@@ -323,12 +605,30 @@ Status CompactionExecutor::Run(const CompactionJob& job,
     }
     auto built = builder->Finish(next_number++, popt.rho);
     builder.reset();
+    throttle_->Charge(costs.compaction_write_sstable_us);
+    if (pipelined) {
+      PendingSSTable pending;
+      Status ws = placer_->StartWrite(std::move(built), /*drange_id=*/-1,
+                                      /*generation=*/0, &pending);
+      if (!ws.ok()) {
+        return ws;
+      }
+      armed.push_back(std::move(pending));
+      while (static_cast<int>(armed.size()) > kMaxInflightOutputs) {
+        Status ds = drain_oldest();
+        if (!ds.ok()) {
+          return ds;
+        }
+      }
+      return Status::OK();
+    }
     FileMetaData out;
     Status ws = placer_->Write(std::move(built), /*drange_id=*/-1,
                                /*generation=*/0, &out);
     if (!ws.ok()) {
       return ws;
     }
+    result->bytes_written += out.data_size;
     result->outputs.push_back(std::move(out));
     return Status::OK();
   };
@@ -379,11 +679,16 @@ Status CompactionExecutor::Run(const CompactionJob& job,
     }
     merged->Next();
   }
-  Status it_status = merged->status();
-  if (!it_status.ok()) {
-    return it_status;
+  Status s2 = merged->status();
+  if (s2.ok()) {
+    s2 = finish_output();
   }
-  return finish_output();
+  while (s2.ok() && !armed.empty()) {
+    s2 = drain_oldest();
+  }
+  result->gather_waves = inputs.gather_waves();
+  result->bytes_read = inputs.bytes_read();
+  return s2;
 }
 
 }  // namespace lsm

@@ -290,12 +290,82 @@ std::vector<rdma::NodeId> SSTablePlacer::PickStocs(int count) {
   return picked;
 }
 
+/// Everything an in-flight SSTable write owns until its flush acks drain:
+/// the built data (append slices point into it), the planned tasks, and
+/// the armed appends. The FileMetaData is complete except for the block
+/// locations, which Wait fills as acknowledgments arrive.
+struct PendingSSTable::State {
+  struct WriteTask {
+    int fragment;  // >= 0 data, -1 parity, -2 metadata
+    int replica;
+    rdma::NodeId stoc;
+    uint64_t file_id;
+    Slice data;
+  };
+  std::string data;
+  std::string parity;
+  std::string meta_encoded;
+  std::vector<WriteTask> tasks;
+  std::vector<stoc::PendingAppend> appends;
+  FileMetaData meta;
+};
+
+PendingSSTable::PendingSSTable() = default;
+PendingSSTable::~PendingSSTable() = default;
+PendingSSTable::PendingSSTable(PendingSSTable&&) noexcept = default;
+PendingSSTable& PendingSSTable::operator=(PendingSSTable&&) noexcept =
+    default;
+
+Status PendingSSTable::Wait(FileMetaData* out) {
+  if (state_ == nullptr) {
+    return Status::InvalidArgument("no write in flight");
+  }
+  std::unique_ptr<State> st = std::move(state_);
+  Status first_error;
+  for (size_t i = 0; i < st->tasks.size(); i++) {
+    const State::WriteTask& t = st->tasks[i];
+    stoc::StocBlockHandle handle;
+    Status s = st->appends[i].Wait(&handle);
+    if (!s.ok()) {
+      if (first_error.ok()) {
+        first_error = s;
+      }
+      continue;  // keep draining so no acknowledgment is orphaned
+    }
+    if (t.fragment >= 0) {
+      st->meta.fragments[t.fragment][t.replica] =
+          BlockLocation{t.stoc, t.file_id};
+    } else if (t.fragment == -1) {
+      st->meta.parity = BlockLocation{t.stoc, t.file_id};
+    } else {
+      st->meta.meta_replicas[t.replica] = BlockLocation{t.stoc, t.file_id};
+    }
+  }
+  *out = std::move(st->meta);
+  return first_error;
+}
+
 Status SSTablePlacer::Write(SSTableBuilder::Result&& built, int drange_id,
                             uint32_t generation, FileMetaData* out) {
+  PendingSSTable pending;
+  Status s = StartWrite(std::move(built), drange_id, generation, &pending);
+  if (!s.ok()) {
+    return s;
+  }
+  return pending.Wait(out);
+}
+
+Status SSTablePlacer::StartWrite(SSTableBuilder::Result&& built,
+                                 int drange_id, uint32_t generation,
+                                 PendingSSTable* pending) {
   PlacementOptions opt = options();
   if (opt.stocs.empty()) {
     return Status::InvalidArgument("no stocs configured");
   }
+
+  auto state = std::make_unique<PendingSSTable::State>();
+  state->data = std::move(built.data);  // the task slices point into this
+  FileMetaData* out = &state->meta;
 
   // Decide ρ for this SSTable from its size (Figure 9: a small SSTable is
   // partitioned across fewer StoCs).
@@ -303,7 +373,7 @@ Status SSTablePlacer::Write(SSTableBuilder::Result&& built, int drange_id,
   if (opt.adjust_rho_by_size && opt.rho > 1) {
     uint64_t frag_target =
         std::max<uint64_t>(1, opt.max_sstable_size / opt.rho);
-    uint64_t by_size = (built.data.size() + frag_target - 1) / frag_target;
+    uint64_t by_size = (state->data.size() + frag_target - 1) / frag_target;
     rho = static_cast<int>(
         std::clamp<uint64_t>(by_size, 1, static_cast<uint64_t>(opt.rho)));
   }
@@ -315,7 +385,7 @@ Status SSTablePlacer::Write(SSTableBuilder::Result&& built, int drange_id,
   int nfrags = tmeta.num_fragments();
 
   out->number = tmeta.file_number;
-  out->data_size = built.data.size();
+  out->data_size = state->data.size();
   out->smallest = tmeta.smallest;
   out->largest = tmeta.largest;
   out->drange_id = drange_id;
@@ -330,14 +400,8 @@ Status SSTablePlacer::Write(SSTableBuilder::Result&& built, int drange_id,
     return Status::Unavailable("no stocs reachable");
   }
 
-  struct WriteTask {
-    int fragment;
-    int replica;
-    rdma::NodeId stoc;
-    uint64_t file_id;
-    Slice data;
-  };
-  std::vector<WriteTask> tasks;
+  using WriteTask = PendingSSTable::State::WriteTask;
+  std::vector<WriteTask>& tasks = state->tasks;
   uint64_t frag_offset = 0;
   uint64_t max_frag = 0;
   for (int f = 0; f < nfrags; f++) {
@@ -350,7 +414,7 @@ Status SSTablePlacer::Write(SSTableBuilder::Result&& built, int drange_id,
       t.file_id = stoc::MakeFileId(
           opt.range_id, static_cast<uint32_t>(tmeta.file_number),
           stoc::FileKind::kData, static_cast<uint8_t>(f * 8 + r));
-      t.data = Slice(built.data.data() + frag_offset,
+      t.data = Slice(state->data.data() + frag_offset,
                      tmeta.fragment_sizes[f]);
       tasks.push_back(t);
     }
@@ -360,13 +424,13 @@ Status SSTablePlacer::Write(SSTableBuilder::Result&& built, int drange_id,
   // Parity block over the fragments (Hybrid availability): XOR of all
   // fragments zero-padded to the longest. Computed up front so its append
   // can join the fragment batch below.
-  std::string parity;
+  std::string& parity = state->parity;
   if (opt.use_parity && nfrags >= 1) {
     parity.assign(max_frag, '\0');
     uint64_t off = 0;
     for (int f = 0; f < nfrags; f++) {
       for (uint64_t i = 0; i < tmeta.fragment_sizes[f]; i++) {
-        parity[i] ^= built.data[off + i];
+        parity[i] ^= state->data[off + i];
       }
       off += tmeta.fragment_sizes[f];
     }
@@ -398,7 +462,7 @@ Status SSTablePlacer::Write(SSTableBuilder::Result&& built, int drange_id,
 
   // Metadata block replicas (index + bloom); small, so replication is
   // cheap and lets reads use any replica (Section 3.1).
-  std::string meta_encoded;
+  std::string& meta_encoded = state->meta_encoded;
   tmeta.EncodeTo(&meta_encoded);
   int meta_replicas =
       std::min<int>(std::max(1, opt.num_meta_replicas),
@@ -420,37 +484,21 @@ Status SSTablePlacer::Write(SSTableBuilder::Result&& built, int drange_id,
   // One async batch for the whole SSTable (the point of scattering: the
   // write uses the disk bandwidth of ρ StoCs at once). Phase 1 queued the
   // buffer-grant RPCs above; Arm() collects each grant and issues the
-  // one-sided data write (both cheap), then every StoC flushes its blocks
-  // concurrently while Wait() collects the acknowledgments in order.
+  // one-sided data write (both cheap). The slow part — every StoC
+  // flushing its blocks — stays in flight until PendingSSTable::Wait
+  // collects the acknowledgments, so a pipelined caller can keep merging
+  // (or building the next output) meanwhile.
   out->fragments.assign(nfrags, std::vector<BlockLocation>(replicas));
-  std::vector<stoc::PendingAppend> appends;
-  appends.reserve(tasks.size());
+  state->appends.reserve(tasks.size());
   for (const WriteTask& t : tasks) {
-    appends.push_back(client_->AsyncAppendBlock(t.stoc, t.file_id, t.data));
+    state->appends.push_back(
+        client_->AsyncAppendBlock(t.stoc, t.file_id, t.data));
   }
-  for (stoc::PendingAppend& a : appends) {
-    a.Arm();  // failures surface again in Wait() below
+  for (stoc::PendingAppend& a : state->appends) {
+    a.Arm();  // failures surface again in Wait()
   }
-  Status first_error;
-  for (size_t i = 0; i < tasks.size(); i++) {
-    const WriteTask& t = tasks[i];
-    stoc::StocBlockHandle handle;
-    Status s = appends[i].Wait(&handle);
-    if (!s.ok()) {
-      if (first_error.ok()) {
-        first_error = s;
-      }
-      continue;  // keep draining so no acknowledgment is orphaned
-    }
-    if (t.fragment >= 0) {
-      out->fragments[t.fragment][t.replica] = BlockLocation{t.stoc, t.file_id};
-    } else if (t.fragment == -1) {
-      out->parity = BlockLocation{t.stoc, t.file_id};
-    } else {
-      out->meta_replicas[t.replica] = BlockLocation{t.stoc, t.file_id};
-    }
-  }
-  return first_error;
+  pending->state_ = std::move(state);
+  return Status::OK();
 }
 
 }  // namespace lsm

@@ -134,6 +134,33 @@ struct PlacementOptions {
   uint32_t range_id = 0;
 };
 
+class SSTablePlacer;
+
+/// An SSTable whose scatter writes are in flight. StartWrite ran phases
+/// 1-2 of the Figure-10 flow for every fragment/parity/metadata block
+/// (buffer-grant RPC + one-sided data write); Wait drains the flush
+/// acknowledgments and fills in the block locations. The compaction
+/// executor keeps a small bound of these armed so the merge loop never
+/// blocks on a StoC flush. Dropping an unwaited one abandons its appends
+/// safely (each PendingAppend reaps its completion token).
+class PendingSSTable {
+ public:
+  PendingSSTable();
+  ~PendingSSTable();
+  PendingSSTable(PendingSSTable&&) noexcept;
+  PendingSSTable& operator=(PendingSSTable&&) noexcept;
+
+  bool valid() const { return state_ != nullptr; }
+  /// Collect every flush acknowledgment and fill *out. Call at most once;
+  /// the pending state is consumed.
+  Status Wait(FileMetaData* out);
+
+ private:
+  friend class SSTablePlacer;
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
 class SSTablePlacer {
  public:
   /// options are read under a lock on each write, so elasticity can mutate
@@ -142,6 +169,12 @@ class SSTablePlacer {
 
   Status Write(SSTableBuilder::Result&& built, int drange_id,
                uint32_t generation, FileMetaData* out);
+
+  /// Async half of Write: pick placements, issue and arm every append,
+  /// and hand back the in-flight SSTable without waiting for flush acks.
+  /// StartWrite + PendingSSTable::Wait == Write.
+  Status StartWrite(SSTableBuilder::Result&& built, int drange_id,
+                    uint32_t generation, PendingSSTable* pending);
 
   void UpdateStocs(const std::vector<rdma::NodeId>& stocs);
   PlacementOptions options() const;

@@ -1,0 +1,102 @@
+#include "ltc/compaction_scheduler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nova {
+namespace ltc {
+
+CompactionScheduler::CompactionScheduler(
+    stoc::StocClient* client, std::vector<rdma::NodeId> stocs,
+    const CompactionSchedulerOptions& options)
+    : client_(client), options_(options), stocs_(std::move(stocs)) {}
+
+bool CompactionScheduler::Acquire(rdma::NodeId* target) {
+  if (!options_.offload) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  bool found = false;
+  int best_load = options_.max_jobs_per_stoc;
+  for (rdma::NodeId stoc : stocs_) {
+    int load = 0;
+    auto it = inflight_.find(stoc);
+    if (it != inflight_.end()) {
+      load = it->second;
+    }
+    if (load < best_load) {
+      best_load = load;
+      *target = stoc;
+      found = true;
+    }
+  }
+  if (found) {
+    inflight_[*target]++;
+  }
+  return found;
+}
+
+void CompactionScheduler::Release(rdma::NodeId target) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = inflight_.find(target);
+  if (it != inflight_.end() && --it->second <= 0) {
+    inflight_.erase(it);
+  }
+}
+
+Status CompactionScheduler::Run(const lsm::CompactionJob& job,
+                                lsm::CompactionExecutor* local,
+                                lsm::CompactionResult* result,
+                                bool* offloaded) {
+  *offloaded = false;
+  rdma::NodeId target;
+  if (Acquire(&target)) {
+    std::string resp;
+    Status s = client_->Compaction(target, job.Serialize(), &resp);
+    if (s.ok() && resp.empty()) {
+      // The StoC accepted the RPC but its handler failed (missing
+      // deserialized inputs, no compaction support, ...).
+      s = Status::IOError("StoC returned no compaction result");
+    }
+    if (s.ok()) {
+      s = result->Deserialize(resp);
+    }
+    Release(target);
+    std::lock_guard<std::mutex> lk(mu_);
+    if (s.ok()) {
+      stats_.offloads++;
+      *offloaded = true;
+      return s;
+    }
+    stats_.offload_failures++;
+    stats_.local_fallbacks++;
+    NOVA_WARN("compaction offload to stoc %d failed (%s); retrying locally",
+              static_cast<int>(target), s.ToString().c_str());
+    *result = lsm::CompactionResult();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.local_runs++;
+  }
+  return local->Run(job, result);
+}
+
+void CompactionScheduler::UpdateStocs(const std::vector<rdma::NodeId>& stocs) {
+  std::lock_guard<std::mutex> lk(mu_);
+  stocs_ = stocs;
+}
+
+CompactionScheduler::Stats CompactionScheduler::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+int CompactionScheduler::inflight(rdma::NodeId stoc) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = inflight_.find(stoc);
+  return it == inflight_.end() ? 0 : it->second;
+}
+
+}  // namespace ltc
+}  // namespace nova

@@ -1,0 +1,78 @@
+// CompactionScheduler: decides where each compaction job runs (paper
+// Section 4.3 "Offloading compactions to StoCs"). The seed implementation
+// offloaded round-robin with no feedback: a StoC already saturated with
+// jobs kept receiving more, and a failed offload silently dropped the job
+// until the picker rediscovered it. The scheduler instead tracks in-flight
+// jobs per StoC, offloads to the least-loaded StoC under a per-StoC bound
+// (beyond the bound the LTC compacts locally rather than queue behind a
+// busy StoC), and retries any failed offload locally so a job admitted to
+// the scheduler always completes exactly once.
+#ifndef NOVA_LTC_COMPACTION_SCHEDULER_H_
+#define NOVA_LTC_COMPACTION_SCHEDULER_H_
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "lsm/compaction.h"
+#include "stoc/stoc_client.h"
+
+namespace nova {
+namespace ltc {
+
+struct CompactionSchedulerOptions {
+  /// Offload at all? When false every job runs on the LTC.
+  bool offload = false;
+  /// In-flight jobs per StoC before the scheduler stops offloading there.
+  int max_jobs_per_stoc = 2;
+};
+
+class CompactionScheduler {
+ public:
+  struct Stats {
+    uint64_t offloads = 0;          // jobs completed on a StoC
+    uint64_t offload_failures = 0;  // offload RPCs that failed
+    uint64_t local_fallbacks = 0;   // failed offloads retried locally
+    uint64_t local_runs = 0;        // jobs run locally (incl. fallbacks)
+  };
+
+  CompactionScheduler(stoc::StocClient* client,
+                      std::vector<rdma::NodeId> stocs,
+                      const CompactionSchedulerOptions& options);
+
+  CompactionScheduler(const CompactionScheduler&) = delete;
+  CompactionScheduler& operator=(const CompactionScheduler&) = delete;
+
+  /// Run the job to completion: offload to the least-loaded StoC when
+  /// enabled and one is under the bound, otherwise execute on `local`.
+  /// A failed offload (RPC error, empty response from a StoC whose
+  /// handler failed, or an undeserializable result) falls back to
+  /// `local` — the job is never dropped. *offloaded reports where the
+  /// successful run happened.
+  Status Run(const lsm::CompactionJob& job, lsm::CompactionExecutor* local,
+             lsm::CompactionResult* result, bool* offloaded);
+
+  /// Elasticity: replace the candidate StoC set.
+  void UpdateStocs(const std::vector<rdma::NodeId>& stocs);
+
+  Stats stats() const;
+  /// In-flight offloaded jobs on one StoC (tests).
+  int inflight(rdma::NodeId stoc) const;
+
+ private:
+  /// Reserve a slot on the least-loaded StoC; false = run locally.
+  bool Acquire(rdma::NodeId* target);
+  void Release(rdma::NodeId target);
+
+  stoc::StocClient* client_;
+  CompactionSchedulerOptions options_;
+  mutable std::mutex mu_;
+  std::vector<rdma::NodeId> stocs_;
+  std::map<rdma::NodeId, int> inflight_;
+  Stats stats_;
+};
+
+}  // namespace ltc
+}  // namespace nova
+
+#endif  // NOVA_LTC_COMPACTION_SCHEDULER_H_

@@ -73,6 +73,12 @@ RangeEngine* LtcServer::AddRangeForRecovery(
   if (opt.readahead_blocks == 0) {
     opt.readahead_blocks = options_.readahead_blocks;
   }
+  if (opt.compaction_readahead_blocks == 0) {
+    opt.compaction_readahead_blocks = options_.compaction_readahead_blocks;
+  }
+  if (opt.max_compaction_jobs == 0) {
+    opt.max_compaction_jobs = options_.max_compaction_jobs;
+  }
   auto engine = std::make_unique<RangeEngine>(
       opt, stoc_client_.get(), stocs, throttle_.get(),
       flush_pool_.get(), compaction_pool_.get(), block_cache_.get());

@@ -36,6 +36,12 @@ struct LtcServerOptions {
   /// Node-wide default for RangeEngineOptions::readahead_blocks; applied
   /// to every added range that leaves its own knob at 0 (unset).
   int readahead_blocks = 0;
+  /// Node-wide default for RangeEngineOptions::compaction_readahead_blocks
+  /// (compaction input-gather pipeline depth), same 0-means-unset scheme.
+  int compaction_readahead_blocks = 0;
+  /// Node-wide default for RangeEngineOptions::max_compaction_jobs
+  /// (in-flight offloaded compactions per StoC).
+  int max_compaction_jobs = 0;
 };
 
 class LtcServer {

@@ -59,6 +59,13 @@ RangeEngine::RangeEngine(const RangeEngineOptions& options,
   placer_ = std::make_unique<lsm::SSTablePlacer>(client_, popt);
   executor_ = std::make_unique<lsm::CompactionExecutor>(
       table_cache_.get(), placer_.get(), throttle_);
+  CompactionSchedulerOptions sched_opt;
+  sched_opt.offload = options_.offload_compaction;
+  sched_opt.max_jobs_per_stoc = options_.max_compaction_jobs > 0
+                                    ? options_.max_compaction_jobs
+                                    : 2;
+  scheduler_ =
+      std::make_unique<CompactionScheduler>(client_, stocs, sched_opt);
   logc_ = std::make_unique<logc::LogClient>(client_, options_.range_id,
                                             options_.log);
   range_index_ =
@@ -700,9 +707,28 @@ void RangeEngine::MaintenanceTick() {
       HandleReorg(changed);
     }
   }
-  // 2. Dispatch queued flushes.
+  // 2. Dispatch queued flushes. First break the parked-small-immutable
+  // cycle: Drange merge outputs wait in small_immutables_ for the *next*
+  // flush of their Drange to gather them (FlushTask), but when they and
+  // the actives together exhaust the δ budget, puts and rotations stall
+  // and that next flush never materializes. With the budget at the cap
+  // and nothing queued or in flight, force-flush the parked tables —
+  // at the cap merge_has_room is false, so FlushTask writes them out as
+  // SSTables and frees budget.
   {
     std::lock_guard<std::mutex> lk(mu_);
+    if (flush_queue_.empty() && flushes_inflight_ == 0 &&
+        static_cast<int>(all_memtables_.size()) >= options_.max_memtables) {
+      for (auto& [did, mids] : small_immutables_) {
+        for (uint64_t mid : mids) {
+          auto it = all_memtables_.find(mid);
+          if (it != all_memtables_.end()) {
+            flush_queue_.push_back(it->second);
+          }
+        }
+        mids.clear();
+      }
+    }
     while (!flush_queue_.empty()) {
       MemTableRef mem = flush_queue_.front();
       flush_queue_.erase(flush_queue_.begin());
@@ -1043,6 +1069,9 @@ void RangeEngine::ScheduleCompactions() {
       job.boundaries = drange_->Boundaries();
     }
     job.max_output_bytes = options_.max_sstable_size;
+    // The gather pipeline depth travels with the job so an offloaded run
+    // honors this LTC's knob (-1 = forced serial).
+    job.readahead_blocks = std::max(0, options_.compaction_readahead_blocks);
     uint64_t estimate =
         job.total_input_bytes() / std::max<uint64_t>(1, job.max_output_bytes) +
         job.boundaries.size() + 4;
@@ -1055,8 +1084,10 @@ void RangeEngine::ScheduleCompactions() {
     }
     compactions_inflight_++;
     inflight_hulls_.emplace_back(job_lo, job_hi);
-    compaction_pool_->Submit([this, job = std::move(job), job_lo, job_hi] {
-      RunCompaction(job);
+    Clock::time_point queued_at = Clock::now();
+    compaction_pool_->Submit([this, job = std::move(job), job_lo, job_hi,
+                              queued_at] {
+      RunCompaction(job, ElapsedUs(queued_at));
       std::lock_guard<std::mutex> cl(compaction_mu_);
       for (size_t i = 0; i < inflight_hulls_.size(); i++) {
         if (inflight_hulls_[i].first == job_lo &&
@@ -1069,28 +1100,24 @@ void RangeEngine::ScheduleCompactions() {
   }
 }
 
-void RangeEngine::RunCompaction(lsm::CompactionJob job) {
+void RangeEngine::RunCompaction(lsm::CompactionJob job, uint64_t queue_us) {
   lsm::CompactionResult result;
-  Status s;
   bool offloaded = false;
-  if (options_.offload_compaction && !stocs_.empty()) {
-    // Offload to a StoC round-robin (Section 4.3 "Offloading").
-    rdma::NodeId target =
-        stocs_[offload_rr_.fetch_add(1) % stocs_.size()];
-    std::string resp;
-    s = client_->Compaction(target, job.Serialize(), &resp);
-    if (s.ok()) {
-      s = result.Deserialize(resp);
-      offloaded = true;
-    }
-  }
-  if (!offloaded) {
-    s = executor_->Run(job, &result);
-  }
+  // The scheduler offloads to the least-loaded StoC (Section 4.3
+  // "Offloading") and retries locally on failure, so the job completes
+  // exactly once wherever it ran.
+  Status s = scheduler_->Run(job, executor_.get(), &result, &offloaded);
   if (s.ok()) {
     ApplyCompactionResult(job, result);
   } else {
     NOVA_WARN("compaction failed: %s", s.ToString().c_str());
+  }
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    stats_.compaction_queue_us += queue_us;
+    stats_.compaction_gather_waves += result.gather_waves;
+    stats_.compaction_bytes_read += result.bytes_read;
+    stats_.compaction_bytes_written += result.bytes_written;
   }
   {
     std::lock_guard<std::mutex> cl(compaction_mu_);
@@ -1446,6 +1473,48 @@ void RangeEngine::WaitForQuiescence(bool flush_all) {
   }
 }
 
+std::string RangeEngine::DebugMaintenanceState() {
+  std::string out;
+  char buf[256];
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    snprintf(buf, sizeof(buf),
+             "flush_queue=%zu inflight_flushes=%d memtables=%zu",
+             flush_queue_.size(), flushes_inflight_, all_memtables_.size());
+    out += buf;
+    out += " actives=[";
+    for (const auto& [did, dm] : actives_) {
+      snprintf(buf, sizeof(buf), "%d:%s ", did,
+               dm.active == nullptr
+                   ? "null"
+                   : std::to_string(dm.active->num_entries()).c_str());
+      out += buf;
+    }
+    out += "] small=[";
+    for (const auto& [did, mids] : small_immutables_) {
+      snprintf(buf, sizeof(buf), "%d:%zu ", did, mids.size());
+      out += buf;
+    }
+    out += "] mems=[";
+    for (const auto& [mid, mem] : all_memtables_) {
+      snprintf(buf, sizeof(buf), "%llu:%llu%s ",
+               (unsigned long long)mid, (unsigned long long)mem->num_entries(),
+               mem->immutable() ? "i" : "");
+      out += buf;
+    }
+    out += "]";
+  }
+  {
+    std::lock_guard<std::mutex> cl(compaction_mu_);
+    snprintf(buf, sizeof(buf),
+             " inflight_compactions=%d compacting_files=%zu hulls=%zu",
+             compactions_inflight_, compacting_files_.size(),
+             inflight_hulls_.size());
+    out += buf;
+  }
+  return out;
+}
+
 RangeStats RangeEngine::stats() const {
   RangeStats out;
   {
@@ -1462,6 +1531,10 @@ RangeStats RangeEngine::stats() const {
       readahead_counters_.issued.load(std::memory_order_relaxed);
   out.readahead_hits =
       readahead_counters_.hits.load(std::memory_order_relaxed);
+  CompactionScheduler::Stats sched = scheduler_->stats();
+  out.compaction_offloads = sched.offloads;
+  out.compaction_offload_failures = sched.offload_failures;
+  out.compaction_local_fallbacks = sched.local_fallbacks;
   return out;
 }
 

@@ -31,6 +31,7 @@
 #include "logc/log_client.h"
 #include "lsm/compaction.h"
 #include "lsm/table_io.h"
+#include "ltc/compaction_scheduler.h"
 #include "lsm/version.h"
 #include "ltc/drange.h"
 #include "ltc/lookup_index.h"
@@ -79,8 +80,18 @@ struct RangeEngineOptions {
   int readahead_blocks = 0;
   uint64_t max_sstable_size = 512 << 10;
   int max_parallel_compactions = 4;
-  /// Offload compaction jobs to StoCs round-robin (Section 4.3).
+  /// Offload compaction jobs to StoCs (Section 4.3); the scheduler picks
+  /// the least-loaded StoC and falls back to local execution.
   bool offload_compaction = false;
+  /// In-flight offloaded jobs per StoC before new jobs run locally
+  /// instead. 0 = unset — LtcServer-hosted engines inherit
+  /// LtcServerOptions::max_compaction_jobs.
+  int max_compaction_jobs = 0;
+  /// Compaction input-gather pipeline depth: data blocks each input
+  /// stream keeps in flight while the merge drains the current one
+  /// (travels with offloaded jobs). 0 = unset — inherit
+  /// LtcServerOptions::compaction_readahead_blocks; -1 = force serial.
+  int compaction_readahead_blocks = 0;
   /// Replicas of the MANIFEST file.
   int manifest_replicas = 1;
 };
@@ -107,6 +118,19 @@ struct RangeStats {
   /// served a block the scan then consumed.
   uint64_t readahead_issued = 0;
   uint64_t readahead_hits = 0;
+  /// Compaction pipeline accounting (includes offloaded jobs, which
+  /// report their numbers back in the CompactionResult): prefetch waves
+  /// issued by input gathers, input/output bytes moved, and total time
+  /// jobs spent queued between scheduling and execution start.
+  uint64_t compaction_gather_waves = 0;
+  uint64_t compaction_bytes_read = 0;
+  uint64_t compaction_bytes_written = 0;
+  uint64_t compaction_queue_us = 0;
+  /// Scheduler outcomes: jobs completed on a StoC, offload attempts that
+  /// failed, and failed offloads retried (successfully or not) locally.
+  uint64_t compaction_offloads = 0;
+  uint64_t compaction_offload_failures = 0;
+  uint64_t compaction_local_fallbacks = 0;
 
   /// The single roll-up used by LtcServer and Cluster TotalStats — new
   /// fields only need to be added here.
@@ -127,6 +151,13 @@ struct RangeStats {
     block_cache_bytes += o.block_cache_bytes;
     readahead_issued += o.readahead_issued;
     readahead_hits += o.readahead_hits;
+    compaction_gather_waves += o.compaction_gather_waves;
+    compaction_bytes_read += o.compaction_bytes_read;
+    compaction_bytes_written += o.compaction_bytes_written;
+    compaction_queue_us += o.compaction_queue_us;
+    compaction_offloads += o.compaction_offloads;
+    compaction_offload_failures += o.compaction_offload_failures;
+    compaction_local_fallbacks += o.compaction_local_fallbacks;
     return *this;
   }
 };
@@ -197,6 +228,7 @@ class RangeEngine {
   LookupIndex* lookup_index() { return &lookup_index_; }
   RangeIndex* range_index() { return range_index_.get(); }
   lsm::SSTablePlacer* placer() { return placer_.get(); }
+  CompactionScheduler* compaction_scheduler() { return scheduler_.get(); }
   const RangeEngineOptions& options() const { return options_; }
   int num_memtables();
   uint64_t l0_bytes() const { return l0_bytes_.load(); }
@@ -206,6 +238,9 @@ class RangeEngine {
   /// Diagnostic: where does the lookup index say `key` lives, and what is
   /// the newest sequence actually present there (tests/debugging).
   std::string DebugLookupState(const Slice& key);
+  /// Diagnostic: one-line snapshot of the background machinery (flush
+  /// queue, in-flight work, memtable census) for stuck-state triage.
+  std::string DebugMaintenanceState();
   /// Diagnostic: exhaustively locate the newest version of key.
   std::string DebugFindNewest(const Slice& key);
 
@@ -226,7 +261,8 @@ class RangeEngine {
   Status MergeSmallMemtables(const std::vector<MemTableRef>& mems,
                              int drange_id);
   void ScheduleCompactions();
-  void RunCompaction(lsm::CompactionJob job);
+  /// queue_us: time the job waited between scheduling and pool pickup.
+  void RunCompaction(lsm::CompactionJob job, uint64_t queue_us);
   void ApplyCompactionResult(const lsm::CompactionJob& job,
                              const lsm::CompactionResult& result);
   void DeleteFileBlocks(const lsm::FileMetaData& meta);
@@ -285,7 +321,7 @@ class RangeEngine {
   /// L0 groups from different epochs may overlap).
   std::vector<std::pair<std::string, std::string>> inflight_hulls_;
   int compactions_inflight_ = 0;
-  std::atomic<int> offload_rr_{0};
+  std::unique_ptr<CompactionScheduler> scheduler_;
   /// L0 file number -> the mids flushed into it (for index upkeep when the
   /// file is compacted away).
   std::map<uint64_t, std::vector<uint64_t>> file_to_mids_;

@@ -42,8 +42,14 @@ struct CostModel {
   // (one-sided RDMA WRITE costs the StoC nothing, Section 8.2.3).
   double nic_log_append_us = 6.0;
 
-  // Background work.
+  // Background work. Compaction I/O is charged separately from the
+  // foreground read/write costs above so benches can attribute
+  // interference: each input data block fetched from a StoC and each
+  // output SSTable written through the placer costs the compacting node
+  // CPU distinct from per-record merge work.
   double compaction_per_record_us = 0.4;
+  double compaction_read_block_us = 2.0;
+  double compaction_write_sstable_us = 8.0;
   double flush_per_record_us = 0.3;
   double reorg_sample_us = 0.2;
 };

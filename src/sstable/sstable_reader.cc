@@ -107,7 +107,7 @@ Status SSTableReader::InstallBlock(std::string contents, uint64_t offset,
 }
 
 std::unique_ptr<SSTableReader::PendingBlock> SSTableReader::Prefetch(
-    const BlockHandle& handle) const {
+    const BlockHandle& handle, ReadaheadCounters* counters) const {
   if (block_cache_ != nullptr) {
     // Already resident: the iterator's ReadBlock will hit; nothing to do.
     Cache::Handle* h = block_cache_->Lookup(
@@ -127,8 +127,8 @@ std::unique_ptr<SSTableReader::PendingBlock> SSTableReader::Prefetch(
   if (pending == nullptr) {
     return nullptr;
   }
-  if (readahead_ != nullptr) {
-    readahead_->issued.fetch_add(1, std::memory_order_relaxed);
+  if (counters != nullptr) {
+    counters->issued.fetch_add(1, std::memory_order_relaxed);
   }
   auto pb = std::make_unique<PendingBlock>();
   pb->offset = handle.offset;
@@ -139,15 +139,16 @@ std::unique_ptr<SSTableReader::PendingBlock> SSTableReader::Prefetch(
 
 Status SSTableReader::FinishPrefetch(PendingBlock* pb,
                                      std::shared_ptr<Block>* block,
-                                     bool fill_cache) const {
+                                     bool fill_cache,
+                                     ReadaheadCounters* counters) const {
   std::string contents;
   Status s = pb->pending->Wait(&contents);
   if (s.ok()) {
     s = InstallBlock(std::move(contents), pb->offset, pb->size, fill_cache,
                      block);
   }
-  if (s.ok() && readahead_ != nullptr) {
-    readahead_->hits.fetch_add(1, std::memory_order_relaxed);
+  if (s.ok() && counters != nullptr) {
+    counters->hits.fetch_add(1, std::memory_order_relaxed);
   }
   return s;
 }

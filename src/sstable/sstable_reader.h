@@ -86,11 +86,22 @@ class SSTableReader {
 
   /// Begin an async fetch of the block at handle. Returns null when the
   /// block is already cached or the fetcher has no async path.
-  std::unique_ptr<PendingBlock> Prefetch(const BlockHandle& handle) const;
+  std::unique_ptr<PendingBlock> Prefetch(const BlockHandle& handle) const {
+    return Prefetch(handle, readahead_);
+  }
+  /// Same, but charging the issue to an explicit counter sink (null = no
+  /// accounting). Compaction input streams pass their own counters so
+  /// background gathers never pollute the scan-readahead stats.
+  std::unique_ptr<PendingBlock> Prefetch(const BlockHandle& handle,
+                                         ReadaheadCounters* counters) const;
   /// Complete a prefetch and hand the block over, inserting it into the
   /// block cache like ReadBlock when fill_cache. Counts a readahead hit.
   Status FinishPrefetch(PendingBlock* pb, std::shared_ptr<Block>* block,
-                        bool fill_cache = true) const;
+                        bool fill_cache = true) const {
+    return FinishPrefetch(pb, block, fill_cache, readahead_);
+  }
+  Status FinishPrefetch(PendingBlock* pb, std::shared_ptr<Block>* block,
+                        bool fill_cache, ReadaheadCounters* counters) const;
 
   int readahead_blocks() const { return readahead_blocks_; }
   const SSTableMetadata& meta() const { return meta_; }

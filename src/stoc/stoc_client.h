@@ -19,6 +19,9 @@ struct StocStats {
   int queue_depth = 0;
   uint64_t stored_bytes = 0;
   double cpu_utilization = 0;
+  /// Offloaded compactions executing on / completed by the StoC.
+  int compactions_inflight = 0;
+  uint64_t compactions_done = 0;
 };
 
 class StocClient;

@@ -12,6 +12,7 @@
 #include "bench_core/workload.h"
 #include "coord/cluster.h"
 #include "client/nova_client.h"
+#include "lsm/version.h"
 #include "util/random.h"
 
 namespace nova {
@@ -315,13 +316,78 @@ TEST_F(IntegrationTest, StocFailureWithParityReconstructs) {
 }
 
 TEST_F(IntegrationTest, OffloadedCompactionProducesSameData) {
-  ClusterOptions opt = FastOptions(1, 3);
-  opt.range.offload_compaction = true;
+  // Run the identical workload against a local-compaction cluster and an
+  // offloaded one, then assert both expose the exact same logical
+  // key/value set (which also matches the oracle). Scans read through
+  // every level, so differing compaction outputs would diverge here.
+  auto run_workload =
+      [](Cluster* cluster) -> std::map<std::string, std::string> {
+    std::map<std::string, std::string> oracle;
+    Random rng(15);
+    for (int i = 0; i < 5000; i++) {
+      std::string key = Key(rng.Uniform(600));
+      std::string value = "v" + std::to_string(i);
+      EXPECT_TRUE(cluster->Put(key, value).ok());
+      oracle[key] = value;
+    }
+    auto* engine = cluster->ltc(0)->ranges()[0];
+    engine->FlushAllMemtables();
+    engine->WaitForQuiescence(true);
+    return oracle;
+  };
+  auto scan_all = [](Cluster* cluster) {
+    std::vector<std::pair<std::string, std::string>> out;
+    EXPECT_TRUE(cluster->Scan("", 100000, &out).ok());
+    return out;
+  };
+
+  ClusterOptions local_opt = FastOptions(1, 3);
+  local_opt.range.offload_compaction = false;
+  StartCluster(local_opt);
+  std::map<std::string, std::string> oracle = run_workload(cluster_.get());
+  auto local_contents = scan_all(cluster_.get());
+  EXPECT_GT(cluster_->ltc(0)->ranges()[0]->stats().compactions, 0u);
+  cluster_->Stop();
+
+  ClusterOptions off_opt = FastOptions(1, 3);
+  off_opt.range.offload_compaction = true;
+  StartCluster(off_opt);
+  std::map<std::string, std::string> oracle2 = run_workload(cluster_.get());
+  ASSERT_EQ(oracle, oracle2);
+  auto* engine = cluster_->ltc(0)->ranges()[0];
+  auto stats = engine->stats();
+  EXPECT_GT(stats.compactions, 0u);
+  EXPECT_GT(stats.compaction_offloads, 0u);
+
+  // Byte-identical logical contents: offloaded scan == local scan ==
+  // oracle.
+  auto offloaded_contents = scan_all(cluster_.get());
+  ASSERT_EQ(offloaded_contents.size(), local_contents.size());
+  ASSERT_EQ(offloaded_contents.size(), oracle.size());
+  for (size_t i = 0; i < offloaded_contents.size(); i++) {
+    EXPECT_EQ(offloaded_contents[i], local_contents[i]) << i;
+  }
+  for (const auto& [key, value] : oracle) {
+    std::string got;
+    ASSERT_TRUE(cluster_->Get(key, &got).ok()) << key;
+    EXPECT_EQ(got, value);
+  }
+}
+
+TEST_F(IntegrationTest, DegradedCompactionReconstructsFromParity) {
+  // Compaction inputs scattered with parity keep merging correctly after
+  // a StoC dies: the input gather's async prefetch to the dead replica
+  // fails, falls back to the synchronous fetch path, and reconstructs the
+  // missing fragment from the surviving fragments + parity.
+  ClusterOptions opt = FastOptions(1, 4);
+  opt.placement.rho = 3;
+  opt.placement.use_parity = true;
+  opt.placement.num_meta_replicas = 3;
+  opt.ltc.compaction_readahead_blocks = 4;  // exercise the pipeline
   StartCluster(opt);
   std::map<std::string, std::string> oracle;
-  Random rng(15);
-  for (int i = 0; i < 5000; i++) {
-    std::string key = Key(rng.Uniform(600));
+  for (int i = 0; i < 2500; i++) {
+    std::string key = Key(i % 400);
     std::string value = "v" + std::to_string(i);
     ASSERT_TRUE(cluster_->Put(key, value).ok());
     oracle[key] = value;
@@ -329,7 +395,58 @@ TEST_F(IntegrationTest, OffloadedCompactionProducesSameData) {
   auto* engine = cluster_->ltc(0)->ranges()[0];
   engine->FlushAllMemtables();
   engine->WaitForQuiescence(true);
-  EXPECT_GT(engine->stats().compactions, 0u);
+  uint64_t compactions_before = engine->stats().compactions;
+
+  // Kill a StoC holding fragments of the files written above, then keep
+  // writing so the picker compacts those degraded files.
+  cluster_->KillStoc(2);
+  for (int i = 0; i < 2500; i++) {
+    std::string key = Key(i % 400);
+    std::string value = "w" + std::to_string(i);
+    ASSERT_TRUE(cluster_->Put(key, value).ok());
+    oracle[key] = value;
+  }
+  engine->FlushAllMemtables();
+  engine->WaitForQuiescence(true);
+  EXPECT_GT(engine->stats().compactions, compactions_before);
+
+  for (const auto& [key, value] : oracle) {
+    std::string got;
+    Status s = cluster_->Get(key, &got);
+    ASSERT_TRUE(s.ok()) << key << " " << s.ToString();
+    EXPECT_EQ(got, value);
+  }
+}
+
+TEST_F(IntegrationTest, FailedOffloadRetriesLocally) {
+  // Break every StoC's compaction handler: offloads come back empty (the
+  // seed dropped such jobs on the floor); the scheduler must fall back to
+  // local execution so compactions still complete and data stays intact.
+  ClusterOptions opt = FastOptions(1, 3);
+  opt.range.offload_compaction = true;
+  StartCluster(opt);
+  for (int i = 0; i < 3; i++) {
+    cluster_->stoc(i)->set_compaction_handler(
+        [](rdma::NodeId, const Slice&) -> std::string { return ""; });
+  }
+  std::map<std::string, std::string> oracle;
+  Random rng(16);
+  for (int i = 0; i < 4000; i++) {
+    std::string key = Key(rng.Uniform(500));
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(cluster_->Put(key, value).ok());
+    oracle[key] = value;
+  }
+  auto* engine = cluster_->ltc(0)->ranges()[0];
+  engine->FlushAllMemtables();
+  engine->WaitForQuiescence(true);
+
+  auto stats = engine->stats();
+  EXPECT_GT(stats.compactions, 0u);
+  EXPECT_EQ(stats.compaction_offloads, 0u);
+  EXPECT_GT(stats.compaction_offload_failures, 0u);
+  EXPECT_EQ(stats.compaction_local_fallbacks,
+            stats.compaction_offload_failures);
   for (const auto& [key, value] : oracle) {
     std::string got;
     ASSERT_TRUE(cluster_->Get(key, &got).ok()) << key;

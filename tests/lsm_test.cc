@@ -241,6 +241,7 @@ TEST(CompactionJobTest, SerializeRoundTrip) {
   job.max_output_bytes = 12345;
   job.is_last_level = true;
   job.first_output_number = 77;
+  job.readahead_blocks = 4;
 
   CompactionJob out;
   ASSERT_TRUE(out.Deserialize(job.Serialize()).ok());
@@ -252,6 +253,7 @@ TEST(CompactionJobTest, SerializeRoundTrip) {
   EXPECT_EQ(out.max_output_bytes, 12345u);
   EXPECT_TRUE(out.is_last_level);
   EXPECT_EQ(out.first_output_number, 77u);
+  EXPECT_EQ(out.readahead_blocks, 4);
 }
 
 TEST(CompactionResultTest, SerializeRoundTrip) {
@@ -259,12 +261,85 @@ TEST(CompactionResultTest, SerializeRoundTrip) {
   result.outputs.push_back(MakeFile(9, 0, 50));
   result.records_in = 100;
   result.records_out = 80;
+  result.gather_waves = 7;
+  result.bytes_read = 4096;
+  result.bytes_written = 2048;
   CompactionResult out;
   ASSERT_TRUE(out.Deserialize(result.Serialize()).ok());
   ASSERT_EQ(out.outputs.size(), 1u);
   EXPECT_EQ(out.outputs[0].number, 9u);
   EXPECT_EQ(out.records_in, 100u);
   EXPECT_EQ(out.records_out, 80u);
+  EXPECT_EQ(out.gather_waves, 7u);
+  EXPECT_EQ(out.bytes_read, 4096u);
+  EXPECT_EQ(out.bytes_written, 2048u);
+}
+
+/// Fuzz-ish: random jobs — empty input lists, empty boundary sets, huge
+/// file numbers, zero/large readahead — must round-trip exactly, and a
+/// truncated encoding must fail cleanly rather than misparse.
+TEST(CompactionJobTest, SerializeRoundTripFuzz) {
+  Random rng(20260807);
+  for (int iter = 0; iter < 200; iter++) {
+    CompactionJob job;
+    job.input_level = rng.Uniform(6);
+    job.output_level = job.input_level + 1;
+    uint32_t n_in = rng.Uniform(5);
+    for (uint32_t i = 0; i < n_in; i++) {
+      uint64_t lo = rng.Uniform(10000);
+      job.inputs.push_back(std::make_shared<FileMetaData>(
+          MakeFile(rng.Next(), lo, lo + rng.Uniform(500))));
+    }
+    uint32_t n_next = rng.Uniform(4);  // often 0: pure L0 components
+    for (uint32_t i = 0; i < n_next; i++) {
+      uint64_t lo = rng.Uniform(10000);
+      job.inputs_next.push_back(std::make_shared<FileMetaData>(
+          MakeFile(rng.Next(), lo, lo + rng.Uniform(500))));
+    }
+    uint32_t n_bounds = rng.Uniform(5);
+    for (uint32_t i = 0; i < n_bounds; i++) {
+      job.boundaries.push_back(Key(rng.Uniform(100000)));
+    }
+    if (rng.OneIn(5)) {
+      job.boundaries.push_back("");  // empty boundary key
+    }
+    job.max_output_bytes = rng.OneIn(3) ? 0 : (uint64_t{1} << rng.Uniform(40));
+    job.is_last_level = rng.OneIn(2);
+    job.first_output_number = rng.Next();
+    job.readahead_blocks = rng.OneIn(3) ? 0 : static_cast<int>(rng.Uniform(64));
+
+    std::string encoded = job.Serialize();
+    CompactionJob out;
+    ASSERT_TRUE(out.Deserialize(encoded).ok()) << "iter " << iter;
+    EXPECT_EQ(out.input_level, job.input_level);
+    EXPECT_EQ(out.output_level, job.output_level);
+    ASSERT_EQ(out.inputs.size(), job.inputs.size());
+    for (size_t i = 0; i < job.inputs.size(); i++) {
+      EXPECT_EQ(out.inputs[i]->number, job.inputs[i]->number);
+      EXPECT_EQ(out.inputs[i]->smallest.Encode().ToString(),
+                job.inputs[i]->smallest.Encode().ToString());
+    }
+    ASSERT_EQ(out.inputs_next.size(), job.inputs_next.size());
+    for (size_t i = 0; i < job.inputs_next.size(); i++) {
+      EXPECT_EQ(out.inputs_next[i]->number, job.inputs_next[i]->number);
+    }
+    EXPECT_EQ(out.boundaries, job.boundaries);
+    EXPECT_EQ(out.max_output_bytes, job.max_output_bytes);
+    EXPECT_EQ(out.is_last_level, job.is_last_level);
+    EXPECT_EQ(out.first_output_number, job.first_output_number);
+    EXPECT_EQ(out.readahead_blocks, job.readahead_blocks);
+
+    // Re-encoding the decoded job must be byte-identical (canonical form).
+    EXPECT_EQ(out.Serialize(), encoded) << "iter " << iter;
+
+    // Any strict prefix must be rejected, not misread.
+    if (!encoded.empty()) {
+      size_t cut = rng.Uniform(static_cast<uint32_t>(encoded.size()));
+      CompactionJob trunc;
+      EXPECT_FALSE(trunc.Deserialize(Slice(encoded.data(), cut)).ok())
+          << "iter " << iter << " cut " << cut;
+    }
+  }
 }
 
 }  // namespace
