@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the tier-1 suite: builds the repo twice (TSan, ASan)
+# into dedicated build trees and runs `ctest -L tier1` under each.
+#
+# Usage:
+#   ci/run_sanitized_tier1.sh [thread|address|all] [extra ctest args...]
+#
+# Defaults to `all`. Extra arguments are forwarded to ctest, e.g.
+#   ci/run_sanitized_tier1.sh thread -R Churn --repeat until-fail:20
+# runs the churn tests 20x under TSan — the loop that gates the
+# WritersAndReadersRace / NoStaleReadsUnderReorgChurn flake fixes.
+#
+# Sanitized runs are several times slower than the plain suite; -j is
+# capped below the machine width so the timing-sensitive churn tests do
+# not time out purely from oversubscription.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+mode="${1:-all}"
+shift || true
+
+jobs=$(( $(nproc) / 2 ))
+(( jobs >= 2 )) || jobs=2
+
+run_one() {
+  local sanitizer="$1"; shift
+  local build_dir="${repo_root}/build-${sanitizer}san"
+  echo "==> [${sanitizer}] configure + build (${build_dir})"
+  cmake -S "${repo_root}" -B "${build_dir}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSANITIZE="${sanitizer}" >/dev/null
+  cmake --build "${build_dir}" -j "$(nproc)" >/dev/null
+  echo "==> [${sanitizer}] ctest -L tier1 -j ${jobs} $*"
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="detect_leaks=0" \
+    ctest --test-dir "${build_dir}" -L tier1 -j "${jobs}" \
+          --output-on-failure "$@"
+}
+
+case "${mode}" in
+  thread|address)
+    run_one "${mode}" "$@"
+    ;;
+  all)
+    run_one thread "$@"
+    run_one address "$@"
+    ;;
+  *)
+    echo "usage: $0 [thread|address|all] [extra ctest args...]" >&2
+    exit 2
+    ;;
+esac
+echo "==> sanitized tier-1: PASS (${mode})"

@@ -14,22 +14,35 @@ Status LogClient::CreateLogFile(uint64_t memtable_id,
   if (options_.mode == LogMode::kNone) {
     return Status::OK();
   }
-  auto state = std::make_unique<LogFileState>();
+  auto state = std::make_shared<LogFileState>();
   uint64_t file_id =
       stoc::MakeFileId(range_id_, static_cast<uint32_t>(memtable_id),
                        stoc::FileKind::kLog, 0);
   if (options_.mode == LogMode::kInMemory ||
       options_.mode == LogMode::kBoth) {
-    int replicas = std::min<int>(options_.num_replicas,
-                                 static_cast<int>(stocs.size()));
-    for (int r = 0; r < replicas; r++) {
+    int want = std::min<int>(options_.num_replicas,
+                             static_cast<int>(stocs.size()));
+    // Walk the whole candidate list, skipping unreachable StoCs, so one
+    // dead node degrades to fewer replicas instead of failing the create.
+    // Returning early here used to leak the regions already opened on
+    // the live StoCs — every memtable rotation leaked more until the
+    // log slab was exhausted and flushes wedged.
+    Status last_error;
+    for (size_t r = 0;
+         r < stocs.size() && static_cast<int>(state->replicas.size()) < want;
+         r++) {
       stoc::InMemFileHandle handle;
       Status s = stoc_client_->OpenInMemFile(stocs[r], file_id,
                                              options_.region_size, &handle);
       if (!s.ok()) {
-        return s;
+        last_error = s;
+        continue;
       }
       state->replicas.push_back(std::move(handle));
+    }
+    if (state->replicas.empty()) {
+      return last_error.ok() ? Status::Unavailable("no log replicas opened")
+                             : last_error;
     }
   }
   if (options_.mode == LogMode::kPersistent ||
@@ -100,19 +113,36 @@ Status LogClient::Append(uint64_t memtable_id, const LogRecord& rec) {
   if (options_.mode == LogMode::kNone) {
     return Status::OK();
   }
-  LogFileState* state;
+  // Hold a reference and register as in flight: a concurrent
+  // DeleteLogFile (memtable rotated and flushed under us) must neither
+  // free the state mid-append nor release the StoC regions while our
+  // one-sided writes are still landing in them. Registration happens
+  // under mu_, so DeleteLogFile either erases first (we never see the
+  // file) or drains us before touching the regions.
+  std::shared_ptr<LogFileState> state;
   {
     std::lock_guard<std::mutex> l(mu_);
     auto it = files_.find(memtable_id);
     if (it == files_.end()) {
       return Status::InvalidArgument("no log file for memtable");
     }
-    state = it->second.get();
+    state = it->second;
+    std::lock_guard<std::mutex> dl(state->drain_mu);
+    state->inflight++;
   }
+  struct InflightGuard {
+    LogFileState* s;
+    ~InflightGuard() {
+      std::lock_guard<std::mutex> l(s->drain_mu);
+      if (--s->inflight == 0) {
+        s->drain_cv.notify_all();
+      }
+    }
+  } guard{state.get()};
   std::string encoded;
   EncodeLogRecord(&encoded, rec);
   if (!state->replicas.empty()) {
-    Status s = AppendInMemory(state, encoded);
+    Status s = AppendInMemory(state.get(), encoded);
     if (!s.ok()) {
       return s;
     }
@@ -134,7 +164,7 @@ Status LogClient::DeleteLogFile(uint64_t memtable_id) {
   if (options_.mode == LogMode::kNone) {
     return Status::OK();
   }
-  std::unique_ptr<LogFileState> state;
+  std::shared_ptr<LogFileState> state;
   {
     std::lock_guard<std::mutex> l(mu_);
     auto it = files_.find(memtable_id);
@@ -143,6 +173,13 @@ Status LogClient::DeleteLogFile(uint64_t memtable_id) {
     }
     state = std::move(it->second);
     files_.erase(it);
+  }
+  // Drain racing appends before releasing the regions (see Append): no
+  // new append can find the file, and the in-flight ones finish within
+  // an RPC round trip.
+  {
+    std::unique_lock<std::mutex> dl(state->drain_mu);
+    state->drain_cv.wait(dl, [&] { return state->inflight == 0; });
   }
   for (const auto& replica : state->replicas) {
     stoc_client_->DeleteFile(replica.stoc_id, replica.file_id, true);
@@ -161,7 +198,7 @@ Status LogClient::NicAppend(const stoc::InMemFileHandle& handle,
 
 void LogClient::Adopt(uint64_t memtable_id,
                       std::vector<stoc::InMemFileHandle> replicas) {
-  auto state = std::make_unique<LogFileState>();
+  auto state = std::make_shared<LogFileState>();
   state->replicas = std::move(replicas);
   std::lock_guard<std::mutex> l(mu_);
   files_[memtable_id] = std::move(state);

@@ -11,6 +11,7 @@
 #ifndef NOVA_LOGC_LOG_CLIENT_H_
 #define NOVA_LOGC_LOG_CLIENT_H_
 
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -83,6 +84,13 @@ class LogClient {
     uint64_t next_offset = 0;       // within the region chain
     size_t current_region = 0;
     std::mutex mu;                  // serializes offset reservation
+    /// Appends in flight between the files_ lookup and completion.
+    /// DeleteLogFile drains them before releasing the StoC files: a late
+    /// one-sided WriteInMem would otherwise land in slab memory the StoC
+    /// has already recycled for another log file.
+    std::mutex drain_mu;
+    std::condition_variable drain_cv;
+    int inflight = 0;
   };
 
   Status AppendInMemory(LogFileState* state, const Slice& encoded);
@@ -94,7 +102,11 @@ class LogClient {
   LogOptions options_;
 
   std::mutex mu_;
-  std::map<uint64_t, std::unique_ptr<LogFileState>> files_;
+  /// shared_ptr: an Append racing DeleteLogFile (its memtable rotated and
+  /// flushed concurrently) keeps the state alive until it returns; the
+  /// losing append targets already-deleted StoC files, which fail or are
+  /// ignored, and the record is re-logged on the put retry.
+  std::map<uint64_t, std::shared_ptr<LogFileState>> files_;
   std::atomic<uint64_t> records_appended_{0};
 };
 

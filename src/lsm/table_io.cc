@@ -12,14 +12,15 @@ namespace lsm {
 
 Status StocBlockFetcher::ReadFragment(int fragment, uint64_t offset,
                                       uint64_t size, std::string* out) {
-  Status last = Status::Unavailable("no replicas");
+  // Power-of-d replica selection + hedging live in the client: the read
+  // goes to the least-loaded replicas, stragglers are hedged, and the
+  // remaining candidates serve as failover.
+  std::vector<stoc::GatherRead::Target> targets;
+  targets.reserve(meta_->fragments[fragment].size());
   for (const BlockLocation& loc : meta_->fragments[fragment]) {
-    last = client_->ReadBlock(loc.stoc_id, loc.file_id, offset, size, out);
-    if (last.ok()) {
-      return last;
-    }
+    targets.push_back({loc.stoc_id, loc.file_id});
   }
-  return last;
+  return client_->ReadReplicated(targets, offset, size, out);
 }
 
 Status StocBlockFetcher::ReconstructFromParity(int fragment,
@@ -67,10 +68,11 @@ Status StocBlockFetcher::ReconstructFromParity(int fragment,
 
 namespace {
 
-/// One readahead read in flight to the first replica. Failures surface to
-/// the caller (the scan iterator), which retries through the reader's
-/// synchronous path — full replica failover + parity reconstruction —
-/// so a failed prefetch is never silently counted as served-ahead.
+/// One readahead read in flight to the least-loaded replica. Failures
+/// surface to the caller (the scan iterator), which retries through the
+/// reader's synchronous path — full replica failover + parity
+/// reconstruction — so a failed prefetch is never silently counted as
+/// served-ahead.
 class StocPendingFetch : public BlockFetcher::Pending {
  public:
   explicit StocPendingFetch(stoc::PendingRead read) : read_(std::move(read)) {}
@@ -89,9 +91,13 @@ std::unique_ptr<BlockFetcher::Pending> StocBlockFetcher::StartFetch(
       meta_->fragments[fragment].empty()) {
     return nullptr;
   }
-  const BlockLocation& loc = meta_->fragments[fragment][0];
+  std::vector<stoc::GatherRead::Target> targets;
+  targets.reserve(meta_->fragments[fragment].size());
+  for (const BlockLocation& loc : meta_->fragments[fragment]) {
+    targets.push_back({loc.stoc_id, loc.file_id});
+  }
   return std::make_unique<StocPendingFetch>(
-      client_->AsyncReadBlock(loc.stoc_id, loc.file_id, offset, size));
+      client_->AsyncReadLeastLoaded(targets, offset, size));
 }
 
 Status StocBlockFetcher::Fetch(int fragment, uint64_t offset, uint64_t size,
@@ -164,18 +170,17 @@ Status TableCache::GetReader(const FileMetaRef& meta, Handle* handle) {
   std::string key = BlockCachePrefix(range_id_, meta->number);
   Cache::Handle* h = cache_->Lookup(key, /*count=*/false);
   if (h == nullptr) {
-    // Fetch the metadata block from any replica (power-of-d would also
-    // work; replicas are equivalent). Concurrent misses on the same file
-    // may both open it; the loser's entry is displaced and reclaimed once
-    // its pins drop.
-    std::string encoded;
-    Status s = Status::Unavailable("no metadata replicas");
+    // Fetch the metadata block via power-of-d replica selection (the
+    // replicas are equivalent, so the least-loaded wins). Concurrent
+    // misses on the same file may both open it; the loser's entry is
+    // displaced and reclaimed once its pins drop.
+    std::vector<stoc::GatherRead::Target> targets;
+    targets.reserve(meta->meta_replicas.size());
     for (const BlockLocation& loc : meta->meta_replicas) {
-      s = client_->ReadBlock(loc.stoc_id, loc.file_id, 0, 0, &encoded);
-      if (s.ok()) {
-        break;
-      }
+      targets.push_back({loc.stoc_id, loc.file_id});
     }
+    std::string encoded;
+    Status s = client_->ReadReplicated(targets, 0, 0, &encoded);
     if (!s.ok()) {
       return s;
     }

@@ -14,6 +14,10 @@ LtcServer::LtcServer(rdma::RdmaFabric* fabric,
   endpoint_->set_request_handler(
       [](rdma::NodeId, uint64_t, const Slice&) {});
   stoc_client_ = std::make_unique<stoc::StocClient>(endpoint_.get());
+  stoc::ReadPolicy read_policy = stoc_client_->read_policy();
+  read_policy.replica_d = std::max(1, options_.read_replica_d);
+  read_policy.hedge = options_.read_hedging;
+  stoc_client_->set_read_policy(read_policy);
   if (options_.block_cache_bytes > 0) {
     block_cache_.reset(NewShardedLRUCache(options_.block_cache_bytes));
   }
@@ -190,6 +194,11 @@ RangeStats LtcServer::TotalStats() {
     total.block_cache_misses += block_cache_->misses();
     total.block_cache_bytes += block_cache_->TotalCharge();
   }
+  // The StoC client (and its read-path replica selection) is likewise
+  // shared across this LTC's ranges: counted once, node-wide.
+  total.pod_reads += stoc_client_->pod_reads();
+  total.hedged_issued += stoc_client_->hedged_issued();
+  total.hedged_won += stoc_client_->hedged_won();
   return total;
 }
 

@@ -42,6 +42,13 @@ struct LtcServerOptions {
   /// Node-wide default for RangeEngineOptions::max_compaction_jobs
   /// (in-flight offloaded compactions per StoC).
   int max_compaction_jobs = 0;
+  /// Read-path power-of-d: replicas a multi-replica StoC read fans out
+  /// to, first success winning (paper §4/§6 component selection applied
+  /// to reads). Node-wide default; per-range knobs may override.
+  int read_replica_d = 2;
+  /// Hedge straggling StoC reads to the next-least-loaded replica after
+  /// a p99-derived delay.
+  bool read_hedging = true;
 };
 
 class LtcServer {

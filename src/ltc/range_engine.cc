@@ -70,6 +70,19 @@ RangeEngine::RangeEngine(const RangeEngineOptions& options,
                                             options_.log);
   range_index_ =
       std::make_unique<RangeIndex>(options_.lower, options_.upper);
+  // Read-path knobs override the shared client's policy when set (the
+  // usual single-tenant configuration gives every range the same values;
+  // with differing values the last-constructed range wins).
+  if (options_.read_replica_d != 0 || options_.read_hedging != 0) {
+    stoc::ReadPolicy policy = client_->read_policy();
+    if (options_.read_replica_d != 0) {
+      policy.replica_d = std::max(1, options_.read_replica_d);
+    }
+    if (options_.read_hedging != 0) {
+      policy.hedge = options_.read_hedging > 0;
+    }
+    client_->set_read_policy(policy);
+  }
 }
 
 RangeEngine::~RangeEngine() { stopping_.store(true); }
@@ -151,6 +164,11 @@ Status RangeEngine::RouteAndAppend(SequenceNumber seq, ValueType type,
   static thread_local Random tl_rng(
       reinterpret_cast<uint64_t>(&tl_rng) ^ 0x1234567);
   const sim::CostModel& costs = sim::DefaultCostModel();
+  foreground_writes_.fetch_add(1, std::memory_order_acquire);
+  struct WriteGuard {
+    std::atomic<int>* n;
+    ~WriteGuard() { n->fetch_sub(1, std::memory_order_release); }
+  } write_guard{&foreground_writes_};
   for (int attempt = 0; attempt < 1000; attempt++) {
     if (stopping_.load(std::memory_order_relaxed)) {
       return Status::Unavailable("range decommissioned");
@@ -693,6 +711,15 @@ Status RangeEngine::Scan(
     if (upper.empty()) {
       break;  // end of the keyspace
     }
+    if (!options_.enable_range_index) {
+      // The ablation merged the whole table set in one pass; stepping to
+      // `upper` would re-collect the same set and spin forever whenever
+      // the range holds fewer than num_records keys past `pos`.
+      break;
+    }
+    if (upper <= pos) {
+      break;  // partition failed to advance; never loop in place
+    }
     pos = upper;  // continue in the next partition (Section 4.1.2)
     throttle_->Charge(costs.scan_seek_us);
   }
@@ -1129,6 +1156,13 @@ void RangeEngine::RunCompaction(lsm::CompactionJob job, uint64_t queue_us) {
     }
     compactions_inflight_--;
   }
+  // l0_bytes_ was lowered outside mu_ (ApplyCompactionResult), so without
+  // this empty critical section the notify can land in the window between
+  // a stalled writer's predicate check and its block — and if this was
+  // the last scheduled compaction nothing ever notifies again (all the
+  // writers are stalled, so the flush queue stays empty). Taking mu_
+  // orders the store before either the writer's re-check or its block.
+  { std::lock_guard<std::mutex> lk(mu_); }
   stall_cv_.notify_all();
 }
 
@@ -1360,6 +1394,33 @@ Status RangeEngine::RebuildFromLogs(int recovery_threads) {
   // compaction upkeep retires the entries normally.
   if (options_.enable_lookup_index) {
     lsm::VersionRef v = versions_->current();
+    // Keys whose newest version was compacted into L1+ before the crash
+    // must not be claimed by an older memtable/L0 version: live operation
+    // leaves such keys with a dangling index slot that still carries the
+    // newest seq, and Get uses that claimed seq to route down to the
+    // levels. Recreate the same shape here by claiming every L1+ key
+    // under one sentinel mid that is never registered in MIDToTable —
+    // a hit on it fails to resolve and falls through to SearchLevels.
+    // This pass runs before the L0 pass so an L0 copy at the same seq
+    // wins the slot (>= guard) and keeps the resolvable fast path.
+    uint64_t levels_mid = next_mid_.fetch_add(1);
+    for (int level = 1; level < v->num_levels(); level++) {
+      for (const auto& f : v->files(level)) {
+        lsm::TableCache::Handle handle;
+        if (!table_cache_->GetReader(f, &handle).ok()) {
+          continue;
+        }
+        std::unique_ptr<Iterator> it(handle.reader->NewIterator());
+        for (it->SeekToFirst(); it->Valid(); it->Next()) {
+          throttle_->Charge(costs.flush_per_record_us);
+          ParsedInternalKey parsed;
+          if (ParseInternalKey(it->key(), &parsed)) {
+            lookup_index_.Update(parsed.user_key, levels_mid,
+                                 parsed.sequence);
+          }
+        }
+      }
+    }
     for (const auto& f : v->files(0)) {
       lsm::TableCache::Handle handle;
       if (!table_cache_->GetReader(f, &handle).ok()) {
@@ -1436,6 +1497,10 @@ Status RangeEngine::InstallFromMigrationState(const Slice& state,
 
 void RangeEngine::BeginDecommission() {
   stopping_.store(true);
+  // Same lost-wakeup pairing as FinishCompaction: stopping_ is stored
+  // outside mu_, and a writer blocking on stall_cv_ must not miss the
+  // only notify that will ever release it.
+  { std::lock_guard<std::mutex> lk(mu_); }
   stall_cv_.notify_all();
 }
 
@@ -1457,6 +1522,12 @@ void RangeEngine::WaitForQuiescence(bool flush_all) {
     {
       std::lock_guard<std::mutex> lk(mu_);
       idle = flush_queue_.empty() && flushes_inflight_ == 0;
+    }
+    if (idle && stopping_.load()) {
+      // Decommission (migration/removal): writers that entered
+      // RouteAndAppend before stopping_ was set may still have log
+      // appends in flight; hand off only after they have returned.
+      idle = foreground_writes_.load(std::memory_order_acquire) == 0;
     }
     if (idle) {
       std::lock_guard<std::mutex> cl(compaction_mu_);

@@ -94,6 +94,13 @@ struct RangeEngineOptions {
   int compaction_readahead_blocks = 0;
   /// Replicas of the MANIFEST file.
   int manifest_replicas = 1;
+  /// Read-path power-of-d: replicas a multi-replica StoC read fans out to
+  /// (first success wins). 0 = unset — LtcServer-hosted engines inherit
+  /// LtcServerOptions::read_replica_d; -1 = force single-replica.
+  int read_replica_d = 0;
+  /// Speculative hedging of straggling StoC reads. 0 = unset — inherit
+  /// LtcServerOptions::read_hedging; 1 = on; -1 = force off.
+  int read_hedging = 0;
 };
 
 struct RangeStats {
@@ -131,6 +138,13 @@ struct RangeStats {
   uint64_t compaction_offloads = 0;
   uint64_t compaction_offload_failures = 0;
   uint64_t compaction_local_fallbacks = 0;
+  /// Read-path replica selection (StocClient counters). Like the shared
+  /// block cache, the client is usually shared across an LTC's ranges:
+  /// per-range numbers stay zero and LtcServer::TotalStats() reports the
+  /// shared client once.
+  uint64_t pod_reads = 0;
+  uint64_t hedged_issued = 0;
+  uint64_t hedged_won = 0;
 
   /// The single roll-up used by LtcServer and Cluster TotalStats — new
   /// fields only need to be added here.
@@ -158,6 +172,9 @@ struct RangeStats {
     compaction_offloads += o.compaction_offloads;
     compaction_offload_failures += o.compaction_offload_failures;
     compaction_local_fallbacks += o.compaction_local_fallbacks;
+    pod_reads += o.pod_reads;
+    hedged_issued += o.hedged_issued;
+    hedged_won += o.hedged_won;
     return *this;
   }
 };
@@ -333,6 +350,12 @@ class RangeEngine {
   ReadaheadCounters readahead_counters_;
   std::atomic<uint64_t> degraded_gets_{0};
   std::atomic<bool> stopping_{false};
+  /// Writers currently inside RouteAndAppend. A decommission must drain
+  /// these before the range is handed off (see WaitForQuiescence): their
+  /// log appends may still be landing at the StoCs, and a record arriving
+  /// after the destination replayed the log files would be acknowledged
+  /// here yet invisible there.
+  std::atomic<int> foreground_writes_{0};
 };
 
 }  // namespace ltc

@@ -6,22 +6,46 @@ namespace nova {
 namespace rdma {
 
 void RdmaFabric::AddNode(NodeId node) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::unique_lock<std::mutex> l(mu_);
   Node& n = nodes_[node];
   n.alive = true;
+  DrainNodePinsLocked(&l, &n);
   n.regions.clear();
   n.inbound.clear();
 }
 
 void RdmaFabric::RemoveNode(NodeId node) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::unique_lock<std::mutex> l(mu_);
   auto it = nodes_.find(node);
   if (it == nodes_.end()) {
     return;
   }
   it->second.alive = false;
+  // Drain in-flight one-sided copies before dropping the registrations:
+  // the node's owner will recycle (or free) the backing memory as soon
+  // as this returns.
+  DrainNodePinsLocked(&l, &it->second);
   it->second.regions.clear();
   it->second.inbound.clear();
+}
+
+void RdmaFabric::DrainNodePinsLocked(std::unique_lock<std::mutex>* l,
+                                     Node* node) {
+  pin_cv_.wait(*l, [node] {
+    for (const auto& [id, mr] : node->regions) {
+      if (mr->pins > 0) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+void RdmaFabric::UnpinRegion(const std::shared_ptr<MemoryRegion>& region) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (--region->pins == 0) {
+    pin_cv_.notify_all();
+  }
 }
 
 bool RdmaFabric::IsAlive(NodeId node) const {
@@ -37,22 +61,33 @@ Status RdmaFabric::RegisterMemory(NodeId node, uint32_t mr_id, char* addr,
   if (it == nodes_.end() || !it->second.alive) {
     return Status::Unavailable("node not on fabric");
   }
-  it->second.regions[mr_id] = MemoryRegion{addr, size};
+  it->second.regions[mr_id] =
+      std::make_shared<MemoryRegion>(MemoryRegion{addr, size, 0});
   return Status::OK();
 }
 
 Status RdmaFabric::DeregisterMemory(NodeId node, uint32_t mr_id) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::unique_lock<std::mutex> l(mu_);
   auto it = nodes_.find(node);
   if (it == nodes_.end()) {
     return Status::NotFound("node not on fabric");
   }
+  auto mr_it = it->second.regions.find(mr_id);
+  if (mr_it == it->second.regions.end()) {
+    return Status::OK();
+  }
+  // Like ibv_dereg_mr: completes only once outstanding one-sided ops on
+  // the region have finished — the caller frees or recycles the memory
+  // the moment this returns, and a late copy would scribble on it.
+  std::shared_ptr<MemoryRegion> region = mr_it->second;
+  pin_cv_.wait(l, [&region] { return region->pins == 0; });
   it->second.regions.erase(mr_id);
   return Status::OK();
 }
 
 Status RdmaFabric::ResolveLocked(const RemoteAddr& remote, size_t len,
-                                 char** out) {
+                                 char** out,
+                                 std::shared_ptr<MemoryRegion>* pin_out) {
   auto it = nodes_.find(remote.node);
   if (it == nodes_.end() || !it->second.alive) {
     return Status::Unavailable("remote node unavailable");
@@ -61,31 +96,36 @@ Status RdmaFabric::ResolveLocked(const RemoteAddr& remote, size_t len,
   if (mr_it == it->second.regions.end()) {
     return Status::InvalidArgument("unknown memory region");
   }
-  const MemoryRegion& mr = mr_it->second;
-  if (remote.offset + len > mr.size) {
+  const std::shared_ptr<MemoryRegion>& mr = mr_it->second;
+  if (remote.offset + len > mr->size) {
     return Status::InvalidArgument("rdma access out of region bounds");
   }
-  *out = mr.addr + remote.offset;
+  *out = mr->addr + remote.offset;
+  mr->pins++;
+  *pin_out = mr;
   return Status::OK();
 }
 
 Status RdmaFabric::Read(NodeId src, const RemoteAddr& remote, char* local,
                         size_t len) {
   char* target;
+  std::shared_ptr<MemoryRegion> pin;
   {
     std::lock_guard<std::mutex> l(mu_);
     auto self = nodes_.find(src);
     if (self == nodes_.end() || !self->second.alive) {
       return Status::Unavailable("initiator not on fabric");
     }
-    Status s = ResolveLocked(remote, len, &target);
+    Status s = ResolveLocked(remote, len, &target, &pin);
     if (!s.ok()) {
       return s;
     }
   }
   // Like real RDMA, the copy happens without target-side synchronization;
-  // protocols must not read regions being concurrently rewritten.
+  // protocols must not read regions being concurrently rewritten. The pin
+  // only keeps deregistration (memory recycling) at bay.
   memcpy(local, target, len);
+  UnpinRegion(pin);
   stats_.num_reads.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_read.fetch_add(len, std::memory_order_relaxed);
   return Status::OK();
@@ -94,18 +134,20 @@ Status RdmaFabric::Read(NodeId src, const RemoteAddr& remote, char* local,
 Status RdmaFabric::Write(NodeId src, const Slice& data,
                          const RemoteAddr& remote, bool notify, uint32_t imm) {
   char* target;
+  std::shared_ptr<MemoryRegion> pin;
   {
     std::lock_guard<std::mutex> l(mu_);
     auto self = nodes_.find(src);
     if (self == nodes_.end() || !self->second.alive) {
       return Status::Unavailable("initiator not on fabric");
     }
-    Status s = ResolveLocked(remote, data.size(), &target);
+    Status s = ResolveLocked(remote, data.size(), &target, &pin);
     if (!s.ok()) {
       return s;
     }
   }
   memcpy(target, data.data(), data.size());
+  UnpinRegion(pin);
   stats_.num_writes.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
   if (notify) {

@@ -20,6 +20,7 @@
 #define NOVA_RDMA_FABRIC_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -104,18 +105,30 @@ class RdmaFabric {
   struct MemoryRegion {
     char* addr = nullptr;
     size_t size = 0;
+    /// One-sided ops currently copying into/out of this region. Like a
+    /// real NIC's MR reference, deregistration must wait for these: a
+    /// copy landing after the owner recycles the memory would corrupt
+    /// whatever now lives there.
+    int pins = 0;
   };
 
   struct Node {
     bool alive = false;
-    std::map<uint32_t, MemoryRegion> regions;
+    std::map<uint32_t, std::shared_ptr<MemoryRegion>> regions;
     std::deque<InboundMessage> inbound;
   };
 
-  /// Resolve a remote address to a host pointer, or fail.
-  Status ResolveLocked(const RemoteAddr& remote, size_t len, char** out);
+  /// Resolve a remote address to a host pointer, or fail. On success
+  /// `*pin_out` holds the region with its pin count already raised; the
+  /// caller must UnpinRegion() once its copy is done.
+  Status ResolveLocked(const RemoteAddr& remote, size_t len, char** out,
+                       std::shared_ptr<MemoryRegion>* pin_out);
+  void UnpinRegion(const std::shared_ptr<MemoryRegion>& region);
+  /// Wait (with mu_ held via *l) until no region of `node` is pinned.
+  void DrainNodePinsLocked(std::unique_lock<std::mutex>* l, Node* node);
 
   mutable std::mutex mu_;
+  std::condition_variable pin_cv_;
   std::map<NodeId, Node> nodes_;
   FabricStats stats_;
 };

@@ -61,7 +61,8 @@ Status Future::Wait(std::string* payload, int timeout_ms) {
     // about to fulfill the state — wait for it.
     l.unlock();
     if (state_->endpoint == nullptr ||
-        !state_->endpoint->AbandonWaiter(state_->id)) {
+        !state_->endpoint->AbandonWaiter(state_->id,
+                                         Status::IOError("rpc timeout"))) {
       // No slot to withdraw (Failed() future raced, or completion in
       // flight): the fulfillment is imminent.
       std::unique_lock<std::mutex> l2(state_->mu);
@@ -76,6 +77,25 @@ Status Future::Wait(std::string* payload, int timeout_ms) {
     state_->payload.clear();
   }
   return state_->status;
+}
+
+bool Future::Cancel() {
+  if (state_ == nullptr) {
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> l(state_->mu);
+    if (state_->done) {
+      return false;  // completion (or timeout/stop) already landed
+    }
+  }
+  if (state_->endpoint == nullptr) {
+    return false;  // Failed() future: fulfillment is imminent
+  }
+  // Losing the withdrawal race to a completer means the result lands
+  // anyway — the duplicate-completion case the caller must tolerate.
+  return state_->endpoint->AbandonWaiter(state_->id,
+                                         Status::IOError("rpc cancelled"));
 }
 
 Future Future::Failed(Status s) {
@@ -210,7 +230,7 @@ void RpcEndpoint::CompleteWaiter(uint64_t id, const Slice& payload) {
   Fulfill(state, Status::OK(), payload.ToString());
 }
 
-bool RpcEndpoint::AbandonWaiter(uint64_t id) {
+bool RpcEndpoint::AbandonWaiter(uint64_t id, Status status) {
   std::shared_ptr<Future::State> state;
   {
     std::lock_guard<std::mutex> l(waiters_mu_);
@@ -221,8 +241,13 @@ bool RpcEndpoint::AbandonWaiter(uint64_t id) {
     state = std::move(it->second);
     waiters_.erase(it);
   }
-  Fulfill(state, Status::IOError("rpc timeout"), "");
+  Fulfill(state, std::move(status), "");
   return true;
+}
+
+size_t RpcEndpoint::num_pending_waiters() {
+  std::lock_guard<std::mutex> l(waiters_mu_);
+  return waiters_.size();
 }
 
 Future RpcEndpoint::AsyncCall(NodeId dst, const Slice& request) {
@@ -231,7 +256,7 @@ Future RpcEndpoint::AsyncCall(NodeId dst, const Slice& request) {
   throttle_->Charge(sim::DefaultCostModel().rdma_message_us);
   Status s = fabric_->Send(node_, dst, Frame(kRequest, id, request));
   if (!s.ok()) {
-    AbandonWaiter(id);
+    AbandonWaiter(id, s);
     return Future::Failed(s);
   }
   return f;

@@ -54,6 +54,14 @@ class Future {
   /// fragments); later Waits still see the status but an empty payload.
   Status Wait(std::string* payload, int timeout_ms = 30000);
 
+  /// Withdraw interest in the result (hedged/duplicated requests: the
+  /// losing attempt is cancelled once a winner returns). The waiter slot
+  /// is removed so the late response is dropped on arrival, and every
+  /// copy of this future observes IOError("rpc cancelled"). Returns false
+  /// when the completion already landed (the result stays available) —
+  /// the duplicate-completion case, which is safe either way.
+  bool Cancel();
+
   /// An already-completed future carrying s (send-time failures complete
   /// immediately so call sites handle exactly one error path).
   static Future Failed(Status s);
@@ -130,6 +138,10 @@ class RpcEndpoint {
   NodeId node() const { return node_; }
   RdmaFabric* fabric() { return fabric_; }
 
+  /// Number of registered waiter slots (tests: duplicate completions and
+  /// cancellations must not leak slots).
+  size_t num_pending_waiters();
+
  private:
   friend class Future;
 
@@ -142,9 +154,10 @@ class RpcEndpoint {
   static void Fulfill(const std::shared_ptr<Future::State>& state,
                       Status status, std::string payload);
   void CompleteWaiter(uint64_t id, const Slice& payload);
-  /// Withdraw a pending waiter (timeout path); fails its future with
-  /// IOError so every copy unblocks. False if already completed/withdrawn.
-  bool AbandonWaiter(uint64_t id);
+  /// Withdraw a pending waiter (timeout and cancellation paths); fails
+  /// its future with the given status so every copy unblocks. False if
+  /// already completed/withdrawn.
+  bool AbandonWaiter(uint64_t id, Status status);
 
   RdmaFabric* fabric_;
   NodeId node_;

@@ -58,6 +58,15 @@ struct SSTableMetadata {
 
 /// Pulls a byte range of one fragment; implemented over the StoC client by
 /// the LTC and over a local device by the monolithic baseline.
+///
+/// Replica-selection contract: when the fragment is stored on several
+/// replicas, the fetcher — not the table reader — decides which replica
+/// serves a given fetch. The StoC-backed implementation fans a Fetch out
+/// to the d least-loaded replicas (power-of-d over queue depth and EWMA
+/// read latency) and returns the first success, hedging stragglers after
+/// a p99-derived delay; StartFetch goes to the single least-loaded
+/// replica since readahead is advisory. Readers therefore always ask for
+/// (fragment, offset, size) and never name a replica.
 class BlockFetcher {
  public:
   /// An in-flight asynchronous fetch started with StartFetch.

@@ -80,6 +80,9 @@ Status SSTableReader::ReadBlock(const BlockHandle& handle,
     return Status::Corruption("block offset outside fragment map");
   }
   std::string contents;
+  // Which replica serves this range is the fetcher's call (power-of-d
+  // plus hedging over the StoC client); the reader only names the
+  // fragment-relative range. See BlockFetcher in sstable/format.h.
   Status s = fetcher_->Fetch(fragment, local_offset, handle.size, &contents);
   if (!s.ok()) {
     return s;

@@ -1,7 +1,20 @@
 #include "stoc/stoc_client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace nova {
 namespace stoc {
+namespace {
+
+uint64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Status StocClient::SimpleCall(rdma::NodeId stoc, const std::string& req,
                               Slice* body, std::string* storage,
@@ -13,9 +26,46 @@ Status StocClient::SimpleCall(rdma::NodeId stoc, const std::string& req,
   return ParseResponse(*storage, body);
 }
 
+PendingRead& PendingRead::operator=(PendingRead&& o) noexcept {
+  if (this == &o) {
+    return *this;
+  }
+  Settle(false);
+  future_ = std::move(o.future_);
+  load_ = std::move(o.load_);
+  client_ = o.client_;
+  start_us_ = o.start_us_;
+  settled_ = o.settled_;
+  o.load_ = nullptr;
+  o.client_ = nullptr;
+  o.settled_ = true;  // the moved-from read owns no load unit
+  return *this;
+}
+
+void PendingRead::Settle(bool record_latency) {
+  if (settled_) {
+    return;
+  }
+  settled_ = true;
+  if (load_ != nullptr) {
+    load_->outstanding.fetch_sub(1, std::memory_order_relaxed);
+    if (record_latency) {
+      uint64_t sample = NowUs() - start_us_;
+      // EWMA with 1/8 gain, seeded by the first observation.
+      uint64_t prev = load_->ewma_us.load(std::memory_order_relaxed);
+      uint64_t next = prev == 0 ? sample : (prev * 7 + sample) / 8;
+      load_->ewma_us.store(next, std::memory_order_relaxed);
+      if (client_ != nullptr) {
+        client_->RecordReadLatency(sample);
+      }
+    }
+  }
+}
+
 Status PendingRead::Wait(std::string* out, int timeout_ms) {
   std::string storage;
   Status s = future_.Wait(&storage, timeout_ms);
+  Settle(s.ok());
   if (!s.ok()) {
     return s;
   }
@@ -26,6 +76,11 @@ Status PendingRead::Wait(std::string* out, int timeout_ms) {
   }
   out->assign(body.data(), body.size());
   return Status::OK();
+}
+
+void PendingRead::Cancel() {
+  future_.Cancel();
+  Settle(false);
 }
 
 PendingAppend& PendingAppend::operator=(PendingAppend&& o) noexcept {
@@ -130,6 +185,61 @@ Status StocClient::AppendBlock(rdma::NodeId stoc, uint64_t file_id,
   return AsyncAppendBlock(stoc, file_id, data).Wait(handle);
 }
 
+std::shared_ptr<StocLoad> StocClient::load(rdma::NodeId stoc) {
+  std::lock_guard<std::mutex> l(load_mu_);
+  std::shared_ptr<StocLoad>& slot = load_[stoc];
+  if (slot == nullptr) {
+    slot = std::make_shared<StocLoad>();
+  }
+  return slot;
+}
+
+void StocClient::RecordReadLatency(uint64_t us) { read_latency_us_.Add(us); }
+
+uint64_t StocClient::HedgeDelayUs() {
+  ReadPolicy policy = read_policy();
+  if (read_latency_us_.count() <
+      static_cast<uint64_t>(policy.hedge_min_samples)) {
+    return policy.hedge_min_delay_us;
+  }
+  return std::max(policy.hedge_min_delay_us,
+                  static_cast<uint64_t>(read_latency_us_.Percentile(99)));
+}
+
+std::vector<size_t> StocClient::RankReplicas(
+    const std::vector<GatherRead::Target>& replicas) {
+  struct Ranked {
+    size_t index;
+    int outstanding;
+    uint64_t ewma;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(replicas.size());
+  for (size_t i = 0; i < replicas.size(); i++) {
+    std::shared_ptr<StocLoad> l = load(replicas[i].stoc);
+    ranked.push_back(
+        Ranked{i,
+               l->outstanding.load(std::memory_order_relaxed) +
+                   l->rank_bias.load(std::memory_order_relaxed),
+               l->ewma_us.load(std::memory_order_relaxed)});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.outstanding != b.outstanding) {
+      return a.outstanding < b.outstanding;
+    }
+    if (a.ewma != b.ewma) {
+      return a.ewma < b.ewma;
+    }
+    return a.index < b.index;
+  });
+  std::vector<size_t> order;
+  order.reserve(ranked.size());
+  for (const Ranked& r : ranked) {
+    order.push_back(r.index);
+  }
+  return order;
+}
+
 PendingRead StocClient::AsyncReadBlock(rdma::NodeId stoc, uint64_t file_id,
                                        uint64_t offset, uint64_t size) {
   read_block_calls_.fetch_add(1, std::memory_order_relaxed);
@@ -139,8 +249,23 @@ PendingRead StocClient::AsyncReadBlock(rdma::NodeId stoc, uint64_t file_id,
   PutVarint64(&req, offset);
   PutVarint64(&req, size);
   PendingRead pending;
+  pending.client_ = this;
+  pending.load_ = load(stoc);
+  pending.load_->outstanding.fetch_add(1, std::memory_order_relaxed);
+  pending.load_->issued.fetch_add(1, std::memory_order_relaxed);
+  pending.start_us_ = NowUs();
   pending.future_ = endpoint_->AsyncCall(stoc, req);
   return pending;
+}
+
+PendingRead StocClient::AsyncReadLeastLoaded(
+    const std::vector<GatherRead::Target>& replicas, uint64_t offset,
+    uint64_t size) {
+  if (replicas.empty()) {
+    return PendingRead();
+  }
+  const GatherRead::Target& t = replicas[RankReplicas(replicas)[0]];
+  return AsyncReadBlock(t.stoc, t.file_id, offset, size);
 }
 
 Status StocClient::ReadBlock(rdma::NodeId stoc, uint64_t file_id,
@@ -149,46 +274,165 @@ Status StocClient::ReadBlock(rdma::NodeId stoc, uint64_t file_id,
   return AsyncReadBlock(stoc, file_id, offset, size).Wait(out);
 }
 
+Status StocClient::ReadReplicated(
+    const std::vector<GatherRead::Target>& replicas, uint64_t offset,
+    uint64_t size, std::string* out, int timeout_ms) {
+  std::vector<GatherRead> reads(1);
+  reads[0].replicas = replicas;
+  reads[0].offset = offset;
+  reads[0].size = size;
+  Status s = GatherReads(&reads, timeout_ms);
+  if (s.ok()) {
+    *out = std::move(reads[0].data);
+  }
+  return s;
+}
+
 Status StocClient::GatherReads(std::vector<GatherRead>* reads,
                                int timeout_ms) {
-  struct Flight {
-    size_t index;
+  ReadPolicy policy = read_policy();
+  struct Attempt {
     PendingRead pending;
+    bool done = false;
+    bool is_hedge = false;
   };
-  // Wave w issues every unfinished entry's w-th replica concurrently, then
-  // collects them; only entries that failed wave w (and still have
-  // candidates) roll into wave w+1. The first wave therefore runs the
-  // whole batch in parallel, and failover costs one extra wave per lost
-  // replica instead of serializing the batch.
-  size_t wave = 0;
-  bool any_pending = true;
-  while (any_pending) {
-    std::vector<Flight> flights;
+  struct Entry {
+    std::vector<size_t> order;  // candidate indices, least-loaded first
+    std::vector<Attempt> attempts;
+    size_t next_candidate = 0;
+    uint64_t issued_at_us = 0;
+    bool hedged = false;
+    bool finished = false;
+    Status last_error;
+  };
+  std::vector<Entry> entries(reads->size());
+  size_t unfinished = 0;
+  for (size_t i = 0; i < reads->size(); i++) {
+    GatherRead& r = (*reads)[i];
+    Entry& e = entries[i];
+    if (r.replicas.empty()) {
+      r.status = Status::Unavailable("no replicas");
+      e.finished = true;
+      continue;
+    }
+    // Power-of-d selection: rank the candidates by tracked load and fan
+    // the read out to the d least-loaded; the first success wins.
+    e.order = RankReplicas(r.replicas);
+    size_t d = std::max<size_t>(
+        1, std::min<size_t>(policy.replica_d, e.order.size()));
+    e.issued_at_us = NowUs();
+    for (size_t a = 0; a < d; a++) {
+      const GatherRead::Target& t = r.replicas[e.order[e.next_candidate++]];
+      e.attempts.push_back(
+          Attempt{AsyncReadBlock(t.stoc, t.file_id, r.offset, r.size)});
+    }
+    if (d > 1) {
+      pod_reads_.fetch_add(1, std::memory_order_relaxed);
+    }
+    unfinished++;
+  }
+
+  uint64_t hedge_delay_us = policy.hedge ? HedgeDelayUs() : 0;
+  uint64_t deadline_us =
+      NowUs() + static_cast<uint64_t>(timeout_ms) * 1000;
+  while (unfinished > 0) {
+    bool progress = false;
+    uint64_t now_us = NowUs();
     for (size_t i = 0; i < reads->size(); i++) {
       GatherRead& r = (*reads)[i];
-      if (wave == 0) {
-        r.status = Status::Unavailable("no replicas");
-      } else if (r.status.ok()) {
+      Entry& e = entries[i];
+      if (e.finished) {
         continue;
       }
-      if (wave >= r.replicas.size()) {
+      size_t live = 0;
+      for (Attempt& a : e.attempts) {
+        if (a.done) {
+          continue;
+        }
+        if (!a.pending.ready()) {
+          live++;
+          continue;
+        }
+        Status s = a.pending.Wait(&r.data, /*timeout_ms=*/0);
+        a.done = true;
+        progress = true;
+        if (s.ok()) {
+          r.status = Status::OK();
+          e.finished = true;
+          unfinished--;
+          if (a.is_hedge) {
+            hedged_won_.fetch_add(1, std::memory_order_relaxed);
+          }
+          // First success wins: withdraw the losing attempts so their
+          // late responses are dropped (duplicate completions that
+          // already landed are simply discarded).
+          for (Attempt& other : e.attempts) {
+            if (!other.done) {
+              other.pending.Cancel();
+              other.done = true;
+            }
+          }
+          break;
+        }
+        e.last_error = s;
+      }
+      if (e.finished) {
         continue;
       }
-      const GatherRead::Target& t = r.replicas[wave];
-      flights.push_back(
-          Flight{i, AsyncReadBlock(t.stoc, t.file_id, r.offset, r.size)});
-    }
-    for (Flight& f : flights) {
-      GatherRead& r = (*reads)[f.index];
-      r.status = f.pending.Wait(&r.data, timeout_ms);
-    }
-    wave++;
-    any_pending = false;
-    for (const GatherRead& r : *reads) {
-      if (!r.status.ok() && wave < r.replicas.size()) {
-        any_pending = true;
-        break;
+      if (live == 0) {
+        // Every issued attempt failed: fail over to the next candidate,
+        // or surface the last error once they are exhausted.
+        if (e.next_candidate < e.order.size()) {
+          const GatherRead::Target& t =
+              r.replicas[e.order[e.next_candidate++]];
+          e.attempts.push_back(
+              Attempt{AsyncReadBlock(t.stoc, t.file_id, r.offset, r.size)});
+          progress = true;
+        } else {
+          r.status = e.last_error.ok()
+                         ? Status::Unavailable("all replicas failed")
+                         : e.last_error;
+          e.finished = true;
+          unfinished--;
+        }
+        continue;
       }
+      // Straggler mitigation: one speculative attempt to the next
+      // candidate once the entry is outstanding past the hedge delay.
+      if (policy.hedge && !e.hedged && e.next_candidate < e.order.size() &&
+          now_us - e.issued_at_us >= hedge_delay_us) {
+        const GatherRead::Target& t = r.replicas[e.order[e.next_candidate++]];
+        Attempt hedge{AsyncReadBlock(t.stoc, t.file_id, r.offset, r.size)};
+        hedge.is_hedge = true;
+        e.attempts.push_back(std::move(hedge));
+        e.hedged = true;
+        hedged_issued_.fetch_add(1, std::memory_order_relaxed);
+        progress = true;
+      }
+    }
+    if (unfinished == 0) {
+      break;
+    }
+    if (NowUs() >= deadline_us) {
+      for (size_t i = 0; i < reads->size(); i++) {
+        Entry& e = entries[i];
+        if (e.finished) {
+          continue;
+        }
+        for (Attempt& a : e.attempts) {
+          if (!a.done) {
+            a.pending.Cancel();
+            a.done = true;
+          }
+        }
+        (*reads)[i].status = Status::IOError("rpc timeout");
+        e.finished = true;
+        unfinished--;
+      }
+      break;
+    }
+    if (!progress) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
   }
   for (const GatherRead& r : *reads) {

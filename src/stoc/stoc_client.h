@@ -6,11 +6,15 @@
 #define NOVA_STOC_STOC_CLIENT_H_
 
 #include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "rdma/rpc.h"
 #include "stoc/stoc_common.h"
+#include "util/histogram.h"
 
 namespace nova {
 namespace stoc {
@@ -24,19 +28,69 @@ struct StocStats {
   uint64_t compactions_done = 0;
 };
 
+/// Read-path replica selection and hedging (the paper's power-of-d
+/// component selection, §4/§6, extended from placement to reads).
+struct ReadPolicy {
+  /// Candidates issued up front when a read has >1 replica: the d
+  /// least-loaded by (outstanding requests, latency EWMA); first success
+  /// wins, the losers are cancelled. 1 = pick the single least-loaded.
+  int replica_d = 2;
+  /// Speculatively re-issue a straggling read to the next-least-loaded
+  /// replica once it has been outstanding longer than the hedge delay.
+  bool hedge = true;
+  /// Floor for the hedge delay; also used verbatim until the latency
+  /// histogram holds hedge_min_samples observations to trust a p99.
+  uint64_t hedge_min_delay_us = 2000;
+  int hedge_min_samples = 64;
+};
+
 class StocClient;
 
+/// Client-side load tracking for one StoC: outstanding read RPCs plus an
+/// EWMA of observed read latency. Shared with in-flight PendingReads so a
+/// read completing after the client rebalances still settles its StoC.
+struct StocLoad {
+  std::atomic<int> outstanding{0};
+  std::atomic<uint64_t> ewma_us{0};
+  /// Lifetime reads issued to this StoC (tests pin replica selection).
+  std::atomic<uint64_t> issued{0};
+  /// Test hook: bias added to outstanding when ranking replicas, so load
+  /// can be injected deterministically without real in-flight reads.
+  std::atomic<int> rank_bias{0};
+};
+
 /// An in-flight ReadBlock. Wait() parses the StoC response frame.
+/// Move-only: the read owns one unit of its StoC's outstanding-load count
+/// until it is waited, cancelled, or dropped.
 class PendingRead {
  public:
   PendingRead() = default;
+  ~PendingRead() { Settle(false); }
+  PendingRead(PendingRead&& o) noexcept { *this = std::move(o); }
+  PendingRead& operator=(PendingRead&& o) noexcept;
+  PendingRead(const PendingRead&) = delete;
+  PendingRead& operator=(const PendingRead&) = delete;
 
   bool valid() const { return future_.valid(); }
+  /// True once the response (or a failure) landed; never blocks.
+  bool ready() const { return future_.ready(); }
   Status Wait(std::string* out, int timeout_ms = 30000);
+  /// Withdraw a losing duplicated/hedged attempt: the late response is
+  /// dropped and the StoC's load count is released now. Safe when the
+  /// completion already landed (it is simply discarded).
+  void Cancel();
 
  private:
   friend class StocClient;
+  /// Release the outstanding-load unit; feed the latency sample into the
+  /// EWMA/histogram only when the read completed successfully.
+  void Settle(bool record_latency);
+
   rdma::Future future_;
+  std::shared_ptr<StocLoad> load_;
+  StocClient* client_ = nullptr;
+  uint64_t start_us_ = 0;
+  bool settled_ = false;
 };
 
 /// An in-flight AppendBlock following the Figure-10 flow. The block data
@@ -122,16 +176,55 @@ class StocClient {
   /// Begin a read; collect it with PendingRead::Wait.
   PendingRead AsyncReadBlock(rdma::NodeId stoc, uint64_t file_id,
                              uint64_t offset, uint64_t size);
-  /// Issue every read concurrently, failing each entry over to its next
-  /// replica in waves until candidates are exhausted. Fills each entry's
-  /// status/data; returns OK iff every entry succeeded (the first failure
-  /// otherwise — all entries are still driven to completion).
+  /// Begin a read against the least-loaded of the candidate replicas
+  /// (readahead path: one attempt, no hedging).
+  PendingRead AsyncReadLeastLoaded(
+      const std::vector<GatherRead::Target>& replicas, uint64_t offset,
+      uint64_t size);
+  /// Issue every read concurrently under the client's ReadPolicy: each
+  /// entry goes to its d least-loaded replicas (first success wins, the
+  /// losers are cancelled), fails over to the remaining candidates when
+  /// every issued attempt errors, and hedges a straggling entry to the
+  /// next-least-loaded replica after the p99-derived hedge delay. Fills
+  /// each entry's status/data; returns OK iff every entry succeeded (the
+  /// first failure otherwise — all entries are still driven to
+  /// completion).
   Status GatherReads(std::vector<GatherRead>* reads, int timeout_ms = 30000);
+  /// Single replicated read: a one-entry GatherReads.
+  Status ReadReplicated(const std::vector<GatherRead::Target>& replicas,
+                        uint64_t offset, uint64_t size, std::string* out,
+                        int timeout_ms = 30000);
+
+  void set_read_policy(const ReadPolicy& policy) {
+    std::lock_guard<std::mutex> l(load_mu_);
+    policy_ = policy;
+  }
+  ReadPolicy read_policy() {
+    std::lock_guard<std::mutex> l(load_mu_);
+    return policy_;
+  }
+  /// Per-StoC load state (created on first use). Tests inject rank_bias
+  /// through this; the read path updates outstanding/ewma through it.
+  std::shared_ptr<StocLoad> load(rdma::NodeId stoc);
+  /// Hedge delay currently in force: max(p99 of observed read latency,
+  /// policy floor), or the floor alone until enough samples accumulated.
+  uint64_t HedgeDelayUs();
 
   /// Lifetime count of ReadBlock RPCs issued through this client (the
   /// block-cache benchmarks report StoC reads avoided with it).
   uint64_t read_block_calls() const {
     return read_block_calls_.load(std::memory_order_relaxed);
+  }
+  /// Reads that had a choice of replica and used power-of-d selection.
+  uint64_t pod_reads() const {
+    return pod_reads_.load(std::memory_order_relaxed);
+  }
+  /// Speculative second attempts launched / won (straggler mitigation).
+  uint64_t hedged_issued() const {
+    return hedged_issued_.load(std::memory_order_relaxed);
+  }
+  uint64_t hedged_won() const {
+    return hedged_won_.load(std::memory_order_relaxed);
   }
 
   Status DeleteFile(rdma::NodeId stoc, uint64_t file_id, bool in_memory);
@@ -170,11 +263,27 @@ class StocClient {
   rdma::RpcEndpoint* endpoint() { return endpoint_; }
 
  private:
+  friend class PendingRead;
+
   Status SimpleCall(rdma::NodeId stoc, const std::string& req, Slice* body,
                     std::string* storage, int timeout_ms = 30000);
+  /// Candidate replica indices ranked by load, least-loaded first
+  /// (outstanding+bias, then latency EWMA, then index for determinism).
+  std::vector<size_t> RankReplicas(
+      const std::vector<GatherRead::Target>& replicas);
+  void RecordReadLatency(uint64_t us);
 
   rdma::RpcEndpoint* endpoint_;
   std::atomic<uint64_t> read_block_calls_{0};
+  std::atomic<uint64_t> pod_reads_{0};
+  std::atomic<uint64_t> hedged_issued_{0};
+  std::atomic<uint64_t> hedged_won_{0};
+
+  std::mutex load_mu_;
+  ReadPolicy policy_;
+  std::map<rdma::NodeId, std::shared_ptr<StocLoad>> load_;
+  /// Observed read latencies feeding the p99-based hedge delay.
+  Histogram read_latency_us_;
 };
 
 }  // namespace stoc

@@ -83,6 +83,10 @@ void SimulatedDevice::DeviceLoop() {
                    static_cast<double>(req.bytes) * 1e6 /
                        config_.bandwidth_bytes_per_sec;
       service_us *= config_.time_scale;
+      // Injected straggler delay bypasses time_scale: tests run at
+      // time_scale 0 but still need one slow replica.
+      service_us +=
+          static_cast<double>(injected_latency_us_.load(std::memory_order_relaxed));
       if (service_us > 0) {
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::micro>(service_us));

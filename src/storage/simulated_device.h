@@ -62,6 +62,17 @@ class SimulatedDevice {
   void Repair() { failed_.store(false, std::memory_order_release); }
   bool failed() const { return failed_.load(std::memory_order_acquire); }
 
+  /// Straggler injection: extra wall-clock delay added to every request's
+  /// service time, applied even at time_scale 0. Makes this StoC a
+  /// deterministic straggler for replica-selection / hedging tests and
+  /// the latency-skew benchmark scenarios.
+  void InjectLatency(uint64_t us) {
+    injected_latency_us_.store(us, std::memory_order_relaxed);
+  }
+  uint64_t injected_latency_us() const {
+    return injected_latency_us_.load(std::memory_order_relaxed);
+  }
+
   // Cumulative statistics.
   uint64_t bytes_read() const { return bytes_read_.load(); }
   uint64_t bytes_written() const { return bytes_written_.load(); }
@@ -94,6 +105,7 @@ class SimulatedDevice {
   std::atomic<int> queue_depth_{0};
   std::atomic<bool> stop_{false};
   std::atomic<bool> failed_{false};
+  std::atomic<uint64_t> injected_latency_us_{0};
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> num_reads_{0};

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -82,6 +84,32 @@ TEST(ChurnConcurrentTest, WritersAndReadersRace) {
   std::atomic<bool> stop{false};
   std::atomic<int> violations{0};
 
+  // Watchdog: this race once hung to the ctest timeout via a lost stall
+  // wakeup (every writer parked on the L0 stall gate after the last
+  // scheduled compaction's notify slipped through the predicate/block
+  // window). Abort with per-writer progress instead of silently eating
+  // the timeout budget, so a regression is diagnosable from the log.
+  std::vector<std::atomic<int>> writer_progress(3);
+  for (auto& p : writer_progress) {
+    p.store(0);
+  }
+  std::atomic<bool> test_done{false};
+  std::thread watchdog([&] {
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(100);
+    while (!test_done.load()) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        fprintf(stderr, "WritersAndReadersRace watchdog fired; writer puts:");
+        for (auto& p : writer_progress) {
+          fprintf(stderr, " %d", p.load());
+        }
+        fprintf(stderr, "/3000 each\n");
+        fflush(stderr);
+        abort();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  });
+
   std::vector<std::thread> writers;
   for (int w = 0; w < 3; w++) {
     writers.emplace_back([&, w] {
@@ -93,6 +121,7 @@ TEST(ChurnConcurrentTest, WritersAndReadersRace) {
           // Remember some committed version (not necessarily the newest).
           committed[k].store(version, std::memory_order_relaxed);
         }
+        writer_progress[w].store(i + 1, std::memory_order_relaxed);
       }
     });
   }
@@ -139,6 +168,8 @@ TEST(ChurnConcurrentTest, WritersAndReadersRace) {
     }
   }
   EXPECT_EQ(missing, 0);
+  test_done.store(true);
+  watchdog.join();
   cluster.Stop();
 }
 

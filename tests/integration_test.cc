@@ -155,6 +155,31 @@ TEST_F(IntegrationTest, ScanSeesDeletes) {
   EXPECT_EQ(got[3].first, Key(7));
 }
 
+// Regression: in the LevelDB*/RocksDB* ablation (no range index) Scan
+// merges the whole table set in one pass, but used to step `pos = upper`
+// and re-collect the same set forever whenever a non-final range held
+// fewer than num_records keys past the start — bench_table07's SW50
+// baseline row hung on exactly this.
+TEST_F(IntegrationTest, BaselineScanTerminatesAtRangeBoundary) {
+  ClusterOptions opt = FastOptions(1, 2);
+  opt.range.enable_range_index = false;
+  opt.range.enable_dranges = false;
+  opt.range.enable_lookup_index = false;
+  opt.split_points = bench::EvenSplitPoints(100, 4);  // 4 ranges, 25 keys each
+  StartCluster(opt);
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(cluster_->Put(Key(i), "v" + std::to_string(i)).ok());
+  }
+  // Start two keys before the first range boundary and ask for ten: the
+  // first range supplies two, the rest stream from the ranges after it.
+  std::vector<std::pair<std::string, std::string>> got;
+  ASSERT_TRUE(cluster_->Scan(Key(23), 10, &got).ok());
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; i++) {
+    EXPECT_EQ(got[i].first, Key(23 + i));
+  }
+}
+
 TEST_F(IntegrationTest, MultiLtcRouting) {
   ClusterOptions opt = FastOptions(2, 2);
   opt.split_points = bench::EvenSplitPoints(1000, 4);  // 4 ranges, 2 LTCs
@@ -231,13 +256,53 @@ TEST_F(IntegrationTest, LtcCrashRecoveryFromLogsAndManifest) {
   // Some data flushed, some still in memtables backed only by log records.
   cluster_->KillLtc(0);
   ASSERT_TRUE(cluster_->RecoverLtcRanges(0, 1, 4).ok());
+  auto* recovered = cluster_->ltc(1)->GetRange(0);
   for (const auto& [key, value] : oracle) {
     std::string got;
     Status s = cluster_->Get(key, &got);
     ASSERT_TRUE(s.ok()) << key << " " << s.ToString();
-    EXPECT_EQ(got, value) << key;
+    EXPECT_EQ(got, value) << key
+                          << " newest=" << recovered->DebugFindNewest(key)
+                          << " index=" << recovered->DebugLookupState(key);
   }
 }
+
+/// Seeded repro loop for the recovery stale-read flake: the lookup-index
+/// rebuild used to re-index only L0, so a key whose newest version had
+/// already been compacted into L1+ before the crash got a consistent-but-
+/// stale index entry (live operation leaves a dangling slot carrying the
+/// newest seq instead). 20 seeds run the whole crash/recover/verify path;
+/// each is its own ctest entry, so the loop parallelizes under ctest -j.
+class RecoveryRepro : public testing::TestWithParam<int> {};
+
+TEST_P(RecoveryRepro, CrashRecoveryMatchesOracle) {
+  ClusterOptions opt = FastOptions(2, 3);
+  opt.split_points = bench::EvenSplitPoints(1000, 2);
+  Cluster cluster(opt);
+  cluster.Start();
+  std::map<std::string, std::string> oracle;
+  Random rng(GetParam());
+  for (int i = 0; i < 2500; i++) {
+    std::string key = Key(rng.Uniform(400));  // range 0 only
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(cluster.Put(key, value).ok());
+    oracle[key] = value;
+  }
+  cluster.KillLtc(0);
+  ASSERT_TRUE(cluster.RecoverLtcRanges(0, 1, 4).ok());
+  auto* recovered = cluster.ltc(1)->GetRange(0);
+  for (const auto& [key, value] : oracle) {
+    std::string got;
+    Status s = cluster.Get(key, &got);
+    ASSERT_TRUE(s.ok()) << key << " " << s.ToString();
+    EXPECT_EQ(got, value) << key
+                          << " newest=" << recovered->DebugFindNewest(key)
+                          << " index=" << recovered->DebugLookupState(key);
+  }
+  cluster.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryRepro, testing::Range(200, 220));
 
 TEST_F(IntegrationTest, RangeMigrationPreservesData) {
   ClusterOptions opt = FastOptions(2, 3);
@@ -252,10 +317,13 @@ TEST_F(IntegrationTest, RangeMigrationPreservesData) {
     oracle[key] = value;
   }
   ASSERT_TRUE(cluster_->MigrateRange(0, 1, 4).ok());
+  auto* migrated = cluster_->ltc(1)->GetRange(0);
   for (const auto& [key, value] : oracle) {
     std::string got;
     ASSERT_TRUE(cluster_->Get(key, &got).ok()) << key;
-    EXPECT_EQ(got, value) << key;
+    EXPECT_EQ(got, value) << key
+                          << " newest=" << migrated->DebugFindNewest(key)
+                          << " index=" << migrated->DebugLookupState(key);
   }
   // The migrated range keeps serving writes on the new LTC.
   ASSERT_TRUE(cluster_->Put(Key(1), "after-migration").ok());
