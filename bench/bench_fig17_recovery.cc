@@ -43,18 +43,26 @@ double RecoverOnce(const BenchConfig& cfg, int memtables, int threads) {
 
 void Run(const BenchConfig& cfg) {
   PrintHeader("Figure 17: recovery duration");
+  JsonArtifact artifact("fig17_recovery");
   printf("-- (a) memtables to recover (1 recovery thread) --\n");
   for (int memtables : {1, 8, 16, 32}) {
     double sec = RecoverOnce(cfg, memtables, 1);
     printf("delta=%-4d  %6.2f s\n", memtables, sec);
     fflush(stdout);
+    artifact.Add("delta=" + std::to_string(memtables),
+                 {{"memtables", memtables}, {"threads", 1},
+                  {"recovery_seconds", sec}});
   }
   printf("-- (b) recovery threads (delta=32) --\n");
   for (int threads : {1, 2, 4, 8, 16}) {
     double sec = RecoverOnce(cfg, 32, threads);
     printf("threads=%-3d %6.2f s\n", threads, sec);
     fflush(stdout);
+    artifact.Add("threads=" + std::to_string(threads),
+                 {{"memtables", 32}, {"threads", threads},
+                  {"recovery_seconds", sec}});
   }
+  artifact.Write(cfg.json_path);
 }
 
 }  // namespace bench

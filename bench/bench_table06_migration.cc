@@ -10,6 +10,7 @@ namespace bench {
 void Run(const BenchConfig& cfg) {
   PrintHeader(
       "Table 6: range migration under Zipfian (eta=5, beta=10, omega=64)");
+  JsonArtifact artifact("table06_migration");
   printf("%-6s %16s %16s %12s\n", "wload", "before (ops/s)",
          "after (ops/s)", "improvement");
   for (WorkloadType type :
@@ -48,8 +49,13 @@ void Run(const BenchConfig& cfg) {
            before.ops_per_sec, after.ops_per_sec,
            after.ops_per_sec / before.ops_per_sec);
     fflush(stdout);
+    artifact.Add(WorkloadName(type),
+                 {{"before_ops_per_sec", before.ops_per_sec},
+                  {"after_ops_per_sec", after.ops_per_sec},
+                  {"improvement", after.ops_per_sec / before.ops_per_sec}});
     cluster.Stop();
   }
+  artifact.Write(cfg.json_path);
 }
 
 }  // namespace bench

@@ -3,12 +3,17 @@
 # into dedicated build trees and runs `ctest -L tier1` under each.
 #
 # Usage:
-#   ci/run_sanitized_tier1.sh [thread|address|all] [extra ctest args...]
+#   ci/run_sanitized_tier1.sh [thread|address|chaos|all] [extra ctest args...]
 #
 # Defaults to `all`. Extra arguments are forwarded to ctest, e.g.
 #   ci/run_sanitized_tier1.sh thread -R Churn --repeat until-fail:20
 # runs the churn tests 20x under TSan — the loop that gates the
 # WritersAndReadersRace / NoStaleReadsUnderReorgChurn flake fixes.
+#
+# `chaos` runs only the seeded fault-injection suite (ChaosTest: StoC
+# kill/restart under failpoint-injected RPC errors, 10 seeds) under TSan
+# — the gate for the failure-detection/repair work (ISSUE 9). `all` runs
+# it after the two full tier-1 passes.
 #
 # Sanitized runs are several times slower than the plain suite; -j is
 # capped below the machine width so the timing-sensitive churn tests do
@@ -36,16 +41,35 @@ run_one() {
           --output-on-failure "$@"
 }
 
+# Chaos stage: the 10-seed kill/restart + failpoint suite, serialized
+# (-j 1) because each seed churns a whole cluster and the suite's timing
+# assumptions (death verdicts, probe intervals) degrade when oversubscribed.
+run_chaos() {
+  local build_dir="${repo_root}/build-threadsan"
+  echo "==> [chaos] configure + build (${build_dir})"
+  cmake -S "${repo_root}" -B "${build_dir}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSANITIZE=thread >/dev/null
+  cmake --build "${build_dir}" -j "$(nproc)" >/dev/null
+  echo "==> [chaos] ctest -R ChaosTest (TSan, 10 seeds)"
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ctest --test-dir "${build_dir}" -R "ChaosTest" -j 1 \
+          --output-on-failure "$@"
+}
+
 case "${mode}" in
   thread|address)
     run_one "${mode}" "$@"
     ;;
+  chaos)
+    run_chaos "$@"
+    ;;
   all)
     run_one thread "$@"
     run_one address "$@"
+    run_chaos "$@"
     ;;
   *)
-    echo "usage: $0 [thread|address|all] [extra ctest args...]" >&2
+    echo "usage: $0 [thread|address|chaos|all] [extra ctest args...]" >&2
     exit 2
     ;;
 esac

@@ -3,7 +3,11 @@
 // watch the manager duplicate the hot point-Dranges and keep the write
 // load balanced, while the memtable-merge policy keeps re-written hot
 // keys in memory instead of pounding the disks.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "bench_core/workload.h"
 #include "coord/cluster.h"
@@ -25,6 +29,33 @@ int main() {
   coord::Cluster cluster(options);
   cluster.Start();
 
+  // Watchdog: this example once ate the whole ctest timeout when every
+  // writer parked on the L0 stall gate after a lost compaction wakeup.
+  // If that class of bug regresses, dump the maintenance state (which
+  // memtables are pinned, what the scheduler is doing, stall counters)
+  // and abort, so the hang is diagnosable from the test log.
+  std::atomic<int> progress{0};
+  std::atomic<bool> done{false};
+  std::thread watchdog([&] {
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(90);
+    while (!done.load()) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        auto* engine = cluster.ltc(0)->ranges()[0];
+        auto stats = engine->stats();
+        fprintf(stderr,
+                "social_feed watchdog fired at put %d/100000\n"
+                "stalls: %llu events, %llu us\n%s\n",
+                progress.load(),
+                static_cast<unsigned long long>(stats.stall_events),
+                static_cast<unsigned long long>(stats.stall_us),
+                engine->DebugMaintenanceState().c_str());
+        fflush(stderr);
+        abort();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  });
+
   // 100k posts: 60% go to 3 celebrity timelines, the rest uniform.
   Random rng(2024);
   const uint64_t kUsers = 20000;
@@ -37,6 +68,7 @@ int main() {
     }
     std::string key = bench::MakeKey(user);
     cluster.Put(key, "post#" + std::to_string(i));
+    progress.store(i + 1, std::memory_order_relaxed);
   }
 
   auto* engine = cluster.ltc(0)->ranges()[0];
@@ -63,6 +95,8 @@ int main() {
          static_cast<unsigned long long>(stats.lookup_index_hits),
          static_cast<unsigned long long>(stats.lookup_index_misses));
 
+  done.store(true);
+  watchdog.join();
   cluster.Stop();
   return 0;
 }

@@ -9,7 +9,8 @@
 namespace nova {
 namespace coord {
 
-Cluster::Cluster(const ClusterOptions& options) : options_(options) {}
+Cluster::Cluster(const ClusterOptions& options)
+    : options_(options), coordinator_(1000, options.membership) {}
 
 Cluster::~Cluster() { Stop(); }
 
@@ -86,6 +87,7 @@ void Cluster::Start() {
         options_.stoc));
     stoc_clients_.push_back(
         std::make_unique<stoc::StocClient>(stocs_.back()->endpoint()));
+    stoc_clients_.back()->set_membership(coordinator_.membership());
     stoc_alive_.push_back(true);
     WireStoc(i);
     stocs_[i]->Start();
@@ -96,6 +98,9 @@ void Cluster::Start() {
     ltc::LtcServerOptions lopt = options_.ltc;
     lopt.node = LtcNode(i);
     ltcs_.push_back(std::make_unique<ltc::LtcServer>(&fabric_, lopt));
+    // Every LTC's StoC client enforces the coordinator's membership
+    // verdicts (circuit breaker + placement exclusion + repair trigger).
+    ltcs_.back()->stoc_client()->set_membership(coordinator_.membership());
     ltc_alive_.push_back(true);
     ltcs_[i]->Start();
     coordinator_.GrantLease(LtcNode(i));
@@ -251,10 +256,34 @@ void Cluster::RestartStoc(int index) {
       stores_[index].get(), options_.stoc);
   stoc_clients_[index] =
       std::make_unique<stoc::StocClient>(stocs_[index]->endpoint());
+  stoc_clients_[index]->set_membership(coordinator_.membership());
   WireStoc(index);
   stocs_[index]->Start();
   stoc_alive_[index] = true;
+  // The lease re-grant moves a dead node to probing; drive the half-open
+  // probes from here so the StoC earns its way back to alive (and into
+  // placement) without waiting for organic read traffic to find it.
   coordinator_.GrantLease(StocNode(index));
+  rdma::NodeId node = StocNode(index);
+  Membership* membership = coordinator_.membership();
+  stoc::StocClient* prober = nullptr;
+  for (size_t l = 0; l < ltcs_.size(); l++) {
+    if (ltc_alive_[l]) {
+      prober = ltcs_[l]->stoc_client();
+      break;
+    }
+  }
+  if (prober != nullptr) {
+    for (int p = 0; p < 10 * membership->options().rejoin_probes &&
+                    membership->health(node) != NodeHealth::kAlive;
+         p++) {
+      stoc::StocStats stats;
+      prober->GetStats(node, &stats);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(membership->options().probe_interval_ms) +
+          std::chrono::milliseconds(1));
+    }
+  }
   RefreshPlacements();
 }
 
@@ -363,6 +392,7 @@ int Cluster::AddStoc() {
       stores_.back().get(), options_.stoc));
   stoc_clients_.push_back(
       std::make_unique<stoc::StocClient>(stocs_.back()->endpoint()));
+  stoc_clients_.back()->set_membership(coordinator_.membership());
   stoc_alive_.push_back(true);
   WireStoc(index);
   stocs_[index]->Start();

@@ -31,6 +31,10 @@ struct ClusterOptions {
   DeviceConfig device;
   stoc::StocServerOptions stoc;
   ltc::LtcServerOptions ltc;
+  /// Failure-detector tuning (suspect threshold, death verdict delay,
+  /// rejoin probes). Tests and the MTTF bench shrink dead_after_ms so a
+  /// KillStoc turns into a death verdict — and automatic repair — fast.
+  MembershipOptions membership;
   /// Template for every range (theta, δ, τ, log mode, ...). range_id,
   /// lower, upper are filled per range.
   ltc::RangeEngineOptions range;

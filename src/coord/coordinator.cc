@@ -31,17 +31,27 @@ uint64_t Coordinator::epoch() const {
 }
 
 void Coordinator::GrantLease(rdma::NodeId node) {
-  std::lock_guard<std::mutex> l(mu_);
-  leases_[node] = Clock::now() + std::chrono::milliseconds(lease_ms_);
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    leases_[node] = Clock::now() + std::chrono::milliseconds(lease_ms_);
+  }
+  membership_.NodeJoined(node);
 }
 
 bool Coordinator::Heartbeat(rdma::NodeId node) {
-  std::lock_guard<std::mutex> l(mu_);
-  auto it = leases_.find(node);
-  if (it == leases_.end() || it->second < Clock::now()) {
-    return false;  // expired: the node must stop serving
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = leases_.find(node);
+    if (it == leases_.end() || it->second < Clock::now()) {
+      // Expired: the node must stop serving. Note the missed renewal so
+      // the death clock starts even if no client traffic touches it.
+      if (it != leases_.end()) leases_.erase(it);
+      membership_.MarkSuspect(node);
+      return false;
+    }
+    it->second = Clock::now() + std::chrono::milliseconds(lease_ms_);
   }
-  it->second = Clock::now() + std::chrono::milliseconds(lease_ms_);
+  membership_.ReportSuccess(node);
   return true;
 }
 
@@ -52,8 +62,11 @@ bool Coordinator::IsLeaseValid(rdma::NodeId node) const {
 }
 
 void Coordinator::ExpireLease(rdma::NodeId node) {
-  std::lock_guard<std::mutex> l(mu_);
-  leases_.erase(node);
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    leases_.erase(node);
+  }
+  membership_.MarkSuspect(node);
 }
 
 }  // namespace coord

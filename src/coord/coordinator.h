@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "coord/membership.h"
 #include "rdma/fabric.h"
 #include "util/status.h"
 
@@ -38,7 +39,9 @@ struct Configuration {
 
 class Coordinator {
  public:
-  explicit Coordinator(int lease_ms = 1000) : lease_ms_(lease_ms) {}
+  explicit Coordinator(int lease_ms = 1000,
+                       MembershipOptions membership_options = {})
+      : lease_ms_(lease_ms), membership_(membership_options) {}
 
   Configuration config() const;
   /// Replace the configuration (bumps the epoch).
@@ -46,13 +49,23 @@ class Coordinator {
   uint64_t epoch() const;
 
   // --- Leases (Section 3: piggybacked on heartbeats) ---
+  /// Grants/renews the lease and admits the node into membership (a node
+  /// previously declared dead re-enters at kProbing — see membership.h).
   void GrantLease(rdma::NodeId node);
   /// Heartbeat: renews the lease; false if it had already expired (the
-  /// node must stop serving).
+  /// node must stop serving and re-join via GrantLease). A successful
+  /// heartbeat also counts as a health contact: it clears a suspect
+  /// verdict and advances a probing node toward alive.
   bool Heartbeat(rdma::NodeId node);
   bool IsLeaseValid(rdma::NodeId node) const;
-  /// Force-expire (simulates losing contact with the node).
+  /// Force-expire (simulates losing contact with the node). The node
+  /// immediately becomes suspect; the membership death clock starts.
   void ExpireLease(rdma::NodeId node);
+
+  /// Per-node health state machine (ISSUE 9). Shared with StocClients
+  /// (circuit breaker) and the RepairManager (death verdicts); the
+  /// Coordinator outlives both in every composition (Cluster, tests).
+  Membership* membership() { return &membership_; }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -61,6 +74,7 @@ class Coordinator {
   mutable std::mutex mu_;
   Configuration config_;
   std::map<rdma::NodeId, Clock::time_point> leases_;
+  Membership membership_;
 };
 
 }  // namespace coord

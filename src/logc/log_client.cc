@@ -1,5 +1,6 @@
 #include "logc/log_client.h"
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace nova {
@@ -31,6 +32,14 @@ Status LogClient::CreateLogFile(uint64_t memtable_id,
     for (size_t r = 0;
          r < stocs.size() && static_cast<int>(state->replicas.size()) < want;
          r++) {
+      // Membership-aware placement: don't even attempt suspect/dead StoCs
+      // when enough healthy candidates remain — an expired lease means
+      // the log region could vanish under the memtable it backs.
+      if (!stoc_client_->IsRoutable(stocs[r]) &&
+          static_cast<int>(stocs.size() - r) >
+              want - static_cast<int>(state->replicas.size())) {
+        continue;
+      }
       stoc::InMemFileHandle handle;
       Status s = stoc_client_->OpenInMemFile(stocs[r], file_id,
                                              options_.region_size, &handle);
@@ -112,6 +121,14 @@ Status LogClient::AppendInMemory(LogFileState* state, const Slice& encoded) {
 Status LogClient::Append(uint64_t memtable_id, const LogRecord& rec) {
   if (options_.mode == LogMode::kNone) {
     return Status::OK();
+  }
+  // Failpoint "logc.append": an injected failure here is reported to the
+  // caller BEFORE any replica is written — the write is not acknowledged
+  // and the put retries, which is exactly the invariant the chaos test
+  // checks (no acked write lost).
+  Status fp = util::FailPoint::Check("logc.append");
+  if (!fp.ok()) {
+    return fp;
   }
   // Hold a reference and register as in flight: a concurrent
   // DeleteLogFile (memtable rotated and flushed under us) must neither

@@ -258,13 +258,27 @@ void SSTablePlacer::set_options(const PlacementOptions& options) {
 std::vector<rdma::NodeId> SSTablePlacer::PickStocs(int count) {
   PlacementOptions opt = options();
   std::vector<rdma::NodeId> candidates = opt.stocs;
+  // Membership exclusion (ISSUE 9): never place new blocks on
+  // suspect/dead StoCs while any healthy candidate exists — a placement
+  // there either fails outright or produces a replica the repair manager
+  // immediately has to re-replicate.
+  std::vector<rdma::NodeId> healthy;
+  healthy.reserve(candidates.size());
+  for (rdma::NodeId n : candidates) {
+    if (client_->IsRoutable(n)) {
+      healthy.push_back(n);
+    }
+  }
+  if (!healthy.empty()) {
+    candidates = std::move(healthy);
+  }
   if (count >= static_cast<int>(candidates.size())) {
     return candidates;
   }
   std::vector<rdma::NodeId> picked;
-  std::lock_guard<std::mutex> l(mu_);
   if (!opt.power_of_d) {
     // Random: choose `count` distinct StoCs.
+    std::lock_guard<std::mutex> l(mu_);
     for (int i = 0; i < count; i++) {
       size_t j = i + rng_.Uniform(candidates.size() - i);
       std::swap(candidates[i], candidates[j]);
@@ -275,20 +289,33 @@ std::vector<rdma::NodeId> SSTablePlacer::PickStocs(int count) {
   // Power-of-d: peek at the disk queues of d = 2*count random StoCs and
   // take the `count` shortest (paper Section 4.4).
   int d = std::min<int>(2 * count, static_cast<int>(candidates.size()));
-  for (int i = 0; i < d; i++) {
-    size_t j = i + rng_.Uniform(candidates.size() - i);
-    std::swap(candidates[i], candidates[j]);
+  {
+    // mu_ guards the RNG only. Never hold it across the probe RPCs:
+    // UpdateStocs (the KillStoc path) must not block behind a probe
+    // waiting on a StoC that just died.
+    std::lock_guard<std::mutex> l(mu_);
+    for (int i = 0; i < d; i++) {
+      size_t j = i + rng_.Uniform(candidates.size() - i);
+      std::swap(candidates[i], candidates[j]);
+    }
   }
   std::vector<std::pair<int, rdma::NodeId>> depths;
   for (int i = 0; i < d; i++) {
     stoc::StocStats stats;
     int depth = 1 << 20;  // unreachable StoCs sort last
-    if (client_->GetStats(candidates[i], &stats).ok()) {
+    if (client_->GetStats(candidates[i], &stats, /*timeout_ms=*/100).ok()) {
       depth = stats.queue_depth;
     }
     depths.emplace_back(depth, candidates[i]);
   }
-  std::sort(depths.begin(), depths.end());
+  // Stable sort on depth alone: ties keep the shuffled order. A plain
+  // pair-sort would tie-break on NodeId and collapse power-of-d to
+  // "always the lowest-numbered StoCs" whenever the cluster is idle.
+  std::stable_sort(depths.begin(), depths.end(),
+                   [](const std::pair<int, rdma::NodeId>& a,
+                      const std::pair<int, rdma::NodeId>& b) {
+                     return a.first < b.first;
+                   });
   for (int i = 0; i < count; i++) {
     picked.push_back(depths[i].second);
   }
@@ -327,10 +354,14 @@ Status PendingSSTable::Wait(FileMetaData* out) {
   }
   std::unique_ptr<State> st = std::move(state_);
   Status first_error;
+  // One deadline spans the whole ack drain: a wedged StoC costs the batch
+  // a single budget, not 30 s per outstanding task.
+  util::Deadline deadline = util::Deadline::After(30000);
   for (size_t i = 0; i < st->tasks.size(); i++) {
     const State::WriteTask& t = st->tasks[i];
     stoc::StocBlockHandle handle;
-    Status s = st->appends[i].Wait(&handle);
+    Status s = st->appends[i].Wait(
+        &handle, static_cast<int>(deadline.remaining_ms(30000)));
     if (!s.ok()) {
       if (first_error.ok()) {
         first_error = s;
@@ -446,9 +477,17 @@ Status SSTablePlacer::StartWrite(SSTableBuilder::Result&& built,
     }
     rdma::NodeId parity_stoc = -1;
     for (rdma::NodeId n : opt.stocs) {
-      if (!used.count(n)) {
+      if (!used.count(n) && client_->IsRoutable(n)) {
         parity_stoc = n;
         break;
+      }
+    }
+    for (rdma::NodeId n : opt.stocs) {
+      if (parity_stoc >= 0) {
+        break;
+      }
+      if (!used.count(n)) {
+        parity_stoc = n;
       }
     }
     if (parity_stoc < 0) {

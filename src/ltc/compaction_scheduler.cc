@@ -20,6 +20,11 @@ bool CompactionScheduler::Acquire(rdma::NodeId* target) {
   bool found = false;
   int best_load = options_.max_jobs_per_stoc;
   for (rdma::NodeId stoc : stocs_) {
+    // Membership exclusion: never offload to a suspect/dead StoC — the
+    // job would burn its whole RPC deadline before falling back locally.
+    if (!client_->IsRoutable(stoc)) {
+      continue;
+    }
     int load = 0;
     auto it = inflight_.find(stoc);
     if (it != inflight_.end()) {

@@ -25,6 +25,8 @@ LtcServer::LtcServer(rdma::RdmaFabric* fabric,
                                              options_.num_flush_threads);
   compaction_pool_ = std::make_unique<ThreadPool>(
       "ltc-compaction", options_.num_compaction_threads);
+  repair_manager_ = std::make_unique<RepairManager>(
+      stoc_client_.get(), [this] { return ranges(); }, options_.repair);
 }
 
 LtcServer::~LtcServer() { Stop(); }
@@ -36,6 +38,7 @@ void LtcServer::Start() {
   fabric_->AddNode(options_.node);
   endpoint_->Start();
   maintenance_thread_ = std::thread([this] { MaintenanceLoop(); });
+  repair_manager_->Start();
 }
 
 void LtcServer::Stop() {
@@ -45,6 +48,8 @@ void LtcServer::Stop() {
   if (maintenance_thread_.joinable()) {
     maintenance_thread_.join();
   }
+  // Repair must stop before the ranges and pools it scans go away.
+  repair_manager_->Stop();
   flush_pool_->Shutdown();
   compaction_pool_->Shutdown();
   endpoint_->Stop();
@@ -199,6 +204,11 @@ RangeStats LtcServer::TotalStats() {
   total.pod_reads += stoc_client_->pod_reads();
   total.hedged_issued += stoc_client_->hedged_issued();
   total.hedged_won += stoc_client_->hedged_won();
+  RepairStats repair = repair_manager_->stats();
+  total.degraded_fragments += repair.degraded_fragments;
+  total.repaired_fragments += repair.repaired_fragments;
+  total.repaired_bytes += repair.repaired_bytes;
+  total.repair_us += repair.repair_us;
   return total;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "ltc/range_engine.h"
+#include "ltc/repair_manager.h"
 #include "rdma/rpc.h"
 #include "stoc/stoc_client.h"
 
@@ -49,6 +50,10 @@ struct LtcServerOptions {
   /// Hedge straggling StoC reads to the next-least-loaded replica after
   /// a p99-derived delay.
   bool read_hedging = true;
+  /// Automatic re-replication of fragments lost to dead StoCs (ISSUE 9).
+  /// Only meaningful once the cluster wires a Membership into the StoC
+  /// client; without one the repair scan is a no-op.
+  RepairOptions repair;
 };
 
 class LtcServer {
@@ -93,6 +98,7 @@ class LtcServer {
   ThreadPool* compaction_pool() { return compaction_pool_.get(); }
   /// Node-wide data-block cache (nullptr when block_cache_bytes == 0).
   Cache* block_cache() { return block_cache_.get(); }
+  RepairManager* repair_manager() { return repair_manager_.get(); }
 
   /// Aggregate stats over all ranges.
   RangeStats TotalStats();
@@ -108,6 +114,7 @@ class LtcServer {
   std::unique_ptr<Cache> block_cache_;
   std::unique_ptr<ThreadPool> flush_pool_;
   std::unique_ptr<ThreadPool> compaction_pool_;
+  std::unique_ptr<RepairManager> repair_manager_;
 
   std::mutex mu_;
   std::map<uint32_t, std::unique_ptr<RangeEngine>> ranges_;

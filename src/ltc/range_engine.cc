@@ -591,7 +591,11 @@ Status RangeEngine::SearchLevels(const LookupKey& lkey, std::string* value,
 }
 
 lsm::FileMetaRef RangeEngine::FindL0File(uint64_t number) {
-  lsm::VersionRef version = versions_->current();
+  return FindL0FileIn(versions_->current(), number);
+}
+
+lsm::FileMetaRef RangeEngine::FindL0FileIn(const lsm::VersionRef& version,
+                                           uint64_t number) {
   for (const auto& f : version->files(0)) {
     if (f->number == number) {
       return f;
@@ -610,7 +614,6 @@ Status RangeEngine::Scan(
     stats_.scans++;
   }
   SequenceNumber snapshot = last_sequence_.load();
-  lsm::VersionRef version = versions_->current();
 
   std::string pos = start_key.ToString();
   std::string last_emitted;
@@ -618,46 +621,70 @@ Status RangeEngine::Scan(
 
   while (static_cast<int>(out->size()) < num_records) {
     // Determine the table set for this stretch of keyspace.
-    std::vector<uint64_t> mids;
     std::vector<uint64_t> l0_numbers;
     std::string upper;
+    std::vector<Iterator*> children;
+    std::vector<lsm::TableCache::Handle> pins;
+    std::vector<MemTableRef> mem_pins;
     if (options_.enable_range_index) {
       RangeIndex::PartitionView view = range_index_->Collect(pos);
       if (!view.valid) {
         break;
       }
-      mids = std::move(view.memtables);
       l0_numbers = std::move(view.l0_files);
       upper = view.upper;
-    } else {
-      // Ablation: merge everything (Challenge 2's slow scan).
-      std::lock_guard<std::mutex> lk(mu_);
-      for (auto& [mid, mem] : all_memtables_) {
-        mids.push_back(mid);
-      }
-      for (const auto& f : version->files(0)) {
-        l0_numbers.push_back(f->number);
-      }
-      upper = options_.upper;
-    }
-
-    std::vector<Iterator*> children;
-    std::vector<lsm::TableCache::Handle> pins;
-    std::vector<MemTableRef> mem_pins;
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      for (uint64_t mid : mids) {
-        auto it = all_memtables_.find(mid);
-        if (it != all_memtables_.end()) {
+      // Pin the collected memtables. A miss means a flush committed
+      // after the collect, so the memtable's keys now live in an L0
+      // file the collect did not see — merging this view would silently
+      // drop them. Throw the stretch away and re-collect.
+      bool stale = false;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (uint64_t mid : view.memtables) {
+          auto it = all_memtables_.find(mid);
+          if (it == all_memtables_.end()) {
+            stale = true;
+            break;
+          }
           mem_pins.push_back(it->second);
           children.push_back(it->second->NewIterator());
         }
       }
+      if (stale) {
+        for (Iterator* c : children) {
+          delete c;
+        }
+        continue;
+      }
+    } else {
+      // Ablation: merge everything (Challenge 2's slow scan). Pin under
+      // the same lock as the collect so no flush can retire a memtable
+      // in between.
+      std::lock_guard<std::mutex> lk(mu_);
+      for (auto& [mid, mem] : all_memtables_) {
+        mem_pins.push_back(mem);
+        children.push_back(mem->NewIterator());
+      }
+      upper = options_.upper;
+    }
+
+    // One consistent LSM view for the whole stretch, captured after the
+    // memtables are pinned: an L0 number the collect saw that compaction
+    // has since retired is covered by this version's deeper levels, and
+    // a flush that committed after pinning merely duplicates a pinned
+    // memtable (the emit loop dedupes by user key). Mixing the collect's
+    // L0 list with a different version's L1 files is how scans used to
+    // lose keys mid-compaction.
+    lsm::VersionRef version = versions_->current();
+    if (!options_.enable_range_index) {
+      for (const auto& f : version->files(0)) {
+        l0_numbers.push_back(f->number);
+      }
     }
     for (uint64_t number : l0_numbers) {
-      lsm::FileMetaRef f = FindL0File(number);
+      lsm::FileMetaRef f = FindL0FileIn(version, number);
       if (f == nullptr) {
-        continue;
+        continue;  // compacted away; this version's L1+ covers it
       }
       lsm::TableCache::Handle handle;
       if (table_cache_->GetReader(f, &handle).ok()) {
@@ -1619,6 +1646,56 @@ bool RangeEngine::IsFileNumberLive(uint64_t number) {
     }
   }
   return false;
+}
+
+Status RangeEngine::SwapFileMeta(const lsm::FileMetaData& updated) {
+  // Claim the file number in compacting_files_ so no compaction starts on
+  // it while the swap's manifest append is in flight; conversely, a file
+  // already claimed by a compaction returns Busy — by the time the repair
+  // manager retries, the compaction has either retired the file (repair is
+  // moot) or released it.
+  {
+    std::lock_guard<std::mutex> cl(compaction_mu_);
+    if (compacting_files_.count(updated.number)) {
+      return Status::Busy("file is being compacted");
+    }
+    compacting_files_.insert(updated.number);
+  }
+  struct Unclaim {
+    RangeEngine* e;
+    uint64_t number;
+    ~Unclaim() {
+      std::lock_guard<std::mutex> cl(e->compaction_mu_);
+      e->compacting_files_.erase(number);
+    }
+  } unclaim{this, updated.number};
+  // Locate the file's level; compactions cannot move it while we hold the
+  // claim, so the snapshot stays accurate through LogAndApply.
+  lsm::VersionRef v = versions_->current();
+  int level = -1;
+  for (int l = 0; l < v->num_levels() && level < 0; l++) {
+    for (const auto& f : v->files(l)) {
+      if (f->number == updated.number) {
+        level = l;
+        break;
+      }
+    }
+  }
+  if (level < 0) {
+    return Status::NotFound("file no longer live");
+  }
+  lsm::VersionEdit edit;
+  edit.deleted_files.emplace_back(level, updated.number);
+  edit.new_files.emplace_back(level, updated);
+  Status s = versions_->LogAndApply(&edit);
+  if (!s.ok()) {
+    return s;
+  }
+  // Readers holding the old FileMetaRef keep working (the surviving
+  // replica locations are unchanged); evict the cached reader so new
+  // opens see the repaired placement.
+  table_cache_->Evict(updated.number);
+  return Status::OK();
 }
 
 std::string RangeEngine::DebugLookupState(const Slice& key) {

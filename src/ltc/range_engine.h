@@ -145,6 +145,16 @@ struct RangeStats {
   uint64_t pod_reads = 0;
   uint64_t hedged_issued = 0;
   uint64_t hedged_won = 0;
+  /// Repair accounting (ISSUE 9; filled by ltc::RepairManager through
+  /// LtcServer::TotalStats — per-range numbers stay zero).
+  /// degraded_fragments is a gauge: fragment/parity/meta replicas whose
+  /// StoC is currently dead and which have not been re-replicated yet.
+  uint64_t degraded_fragments = 0;
+  uint64_t repaired_fragments = 0;
+  uint64_t repaired_bytes = 0;
+  /// Wall time from a death verdict to the scan that found the node's
+  /// files fully re-replicated (the measured repair window).
+  uint64_t repair_us = 0;
 
   /// The single roll-up used by LtcServer and Cluster TotalStats — new
   /// fields only need to be added here.
@@ -175,6 +185,10 @@ struct RangeStats {
     pod_reads += o.pod_reads;
     hedged_issued += o.hedged_issued;
     hedged_won += o.hedged_won;
+    degraded_fragments += o.degraded_fragments;
+    repaired_fragments += o.repaired_fragments;
+    repaired_bytes += o.repaired_bytes;
+    repair_us += o.repair_us;
     return *this;
   }
 };
@@ -242,6 +256,14 @@ class RangeEngine {
   Cache* block_cache() { return block_cache_; }
   /// True if the current version references this SSTable number.
   bool IsFileNumberLive(uint64_t number);
+  /// Atomically replace the placement metadata of a live SSTable (same
+  /// file number, same key range — only BlockLocations change). Used by
+  /// the repair manager after re-replicating fragments away from a dead
+  /// StoC. Returns Busy if the file is being compacted (the caller
+  /// retries on its next scan: the compaction either keeps the file,
+  /// making the swap valid later, or retires it, making repair moot) and
+  /// NotFound if the file is no longer live.
+  Status SwapFileMeta(const lsm::FileMetaData& updated);
   LookupIndex* lookup_index() { return &lookup_index_; }
   RangeIndex* range_index() { return range_index_.get(); }
   lsm::SSTablePlacer* placer() { return placer_.get(); }
@@ -286,6 +308,8 @@ class RangeEngine {
   Status ManifestAppend(const Slice& record);
   Status ReadManifestRecords(std::vector<std::string>* records);
   lsm::FileMetaRef FindL0File(uint64_t number);
+  static lsm::FileMetaRef FindL0FileIn(const lsm::VersionRef& version,
+                                       uint64_t number);
   Status SearchLevels(const LookupKey& lkey, std::string* value,
                       SequenceNumber* seq_out = nullptr);
   Status RebuildFromLogs(int recovery_threads);

@@ -4,6 +4,7 @@
 
 #include "sim/cost_model.h"
 #include "util/coding.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace nova {
@@ -58,11 +59,14 @@ Status Future::Wait(std::string* payload, int timeout_ms) {
                            [this] { return state_->done; })) {
     // Timed out: withdraw the waiter slot so a late response is dropped.
     // Losing the withdrawal race means a completer holds the slot and is
-    // about to fulfill the state — wait for it.
+    // about to fulfill the state — wait for it. The timeout is typed
+    // Unavailable: a peer that never answered is operationally the same
+    // as one the fabric reports dead, and callers (circuit breaker,
+    // retry policies) key off that code.
     l.unlock();
     if (state_->endpoint == nullptr ||
-        !state_->endpoint->AbandonWaiter(state_->id,
-                                         Status::IOError("rpc timeout"))) {
+        !state_->endpoint->AbandonWaiter(
+            state_->id, Status::Unavailable("rpc deadline exceeded"))) {
       // No slot to withdraw (Failed() future raced, or completion in
       // flight): the fulfillment is imminent.
       std::unique_lock<std::mutex> l2(state_->mu);
@@ -77,6 +81,13 @@ Status Future::Wait(std::string* payload, int timeout_ms) {
     state_->payload.clear();
   }
   return state_->status;
+}
+
+Status Future::WaitUntil(std::string* payload, const util::Deadline& deadline) {
+  // Cap the per-call wait so an infinite deadline still degrades to the
+  // historical 30 s default rather than blocking forever.
+  int64_t ms = deadline.remaining_ms(30000);
+  return Wait(payload, static_cast<int>(ms));
 }
 
 bool Future::Cancel() {
@@ -120,30 +131,41 @@ void RpcEndpoint::Start() {
   if (running_.exchange(true)) {
     return;
   }
+  stopping_.store(false);
   for (int i = 0; i < num_xchg_threads_; i++) {
     xchg_threads_.emplace_back([this, i] { XchgLoop(i); });
   }
 }
 
 void RpcEndpoint::Stop() {
+  stopping_.store(true);
   if (!running_.exchange(false)) {
     return;
   }
+  // Fail pending waiters BEFORE joining the xchg threads: an xchg thread
+  // may be blocked inside a request handler waiting on one of this
+  // endpoint's own futures — joined first, Stop would stall for a full
+  // RPC timeout. New waiters cannot appear after the sweep: AsyncCall
+  // re-checks stopping_ after registering (synchronized via waiters_mu_)
+  // and withdraws itself.
+  auto fail_pending = [this] {
+    std::map<uint64_t, std::shared_ptr<Future::State>> pending;
+    {
+      std::lock_guard<std::mutex> l(waiters_mu_);
+      pending.swap(waiters_);
+    }
+    for (auto& [id, state] : pending) {
+      Fulfill(state, Status::Unavailable("endpoint stopped"), "");
+    }
+  };
+  fail_pending();
   for (auto& t : xchg_threads_) {
     if (t.joinable()) {
       t.join();
     }
   }
   xchg_threads_.clear();
-  // Fail anything still waiting.
-  std::map<uint64_t, std::shared_ptr<Future::State>> pending;
-  {
-    std::lock_guard<std::mutex> l(waiters_mu_);
-    pending.swap(waiters_);
-  }
-  for (auto& [id, state] : pending) {
-    Fulfill(state, Status::Unavailable("endpoint stopped"), "");
-  }
+  fail_pending();
 }
 
 void RpcEndpoint::XchgLoop(int thread_index) {
@@ -251,10 +273,25 @@ size_t RpcEndpoint::num_pending_waiters() {
 }
 
 Future RpcEndpoint::AsyncCall(NodeId dst, const Slice& request) {
+  if (stopping_.load(std::memory_order_relaxed)) {
+    return Future::Failed(Status::Unavailable("endpoint stopped"));
+  }
   uint64_t id;
   Future f = RegisterWaiter(&id);
+  // Re-check after registering: if Stop() swept the waiter map between
+  // the check above and RegisterWaiter, this waiter would wait out its
+  // full timeout with nobody left to fulfill it.
+  if (stopping_.load(std::memory_order_acquire)) {
+    AbandonWaiter(id, Status::Unavailable("endpoint stopped"));
+    return Future::Failed(Status::Unavailable("endpoint stopped"));
+  }
   throttle_->Charge(sim::DefaultCostModel().rdma_message_us);
-  Status s = fabric_->Send(node_, dst, Frame(kRequest, id, request));
+  // Failpoint "rpc.send": injected request-direction connection errors
+  // (chaos tests drive the circuit breaker through here).
+  Status s = util::FailPoint::Check("rpc.send");
+  if (s.ok()) {
+    s = fabric_->Send(node_, dst, Frame(kRequest, id, request));
+  }
   if (!s.ok()) {
     AbandonWaiter(id, s);
     return Future::Failed(s);
@@ -268,12 +305,26 @@ Status RpcEndpoint::Call(NodeId dst, const Slice& request,
 }
 
 Status RpcEndpoint::OneWay(NodeId dst, const Slice& request) {
+  if (stopping_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("endpoint stopped");
+  }
   throttle_->Charge(sim::DefaultCostModel().rdma_message_us);
+  Status s = util::FailPoint::Check("rpc.send");
+  if (!s.ok()) {
+    return s;
+  }
   return fabric_->Send(node_, dst, Frame(kOneWay, 0, request));
 }
 
 Status RpcEndpoint::Reply(NodeId dst, uint64_t req_id, const Slice& response) {
   throttle_->Charge(sim::DefaultCostModel().rdma_message_us);
+  // Failpoint "rpc.reply": response-direction drops — the caller sees a
+  // deadline expiry, not an error (separate site from "rpc.send" so chaos
+  // tests can keep failures fast-failing).
+  Status s = util::FailPoint::Check("rpc.reply");
+  if (!s.ok()) {
+    return s;
+  }
   return fabric_->Send(node_, dst, Frame(kResponse, req_id, response));
 }
 

@@ -29,6 +29,7 @@
 
 #include "rdma/fabric.h"
 #include "sim/cpu_throttle.h"
+#include "util/retry.h"
 
 namespace nova {
 namespace rdma {
@@ -49,10 +50,15 @@ class Future {
   bool ready() const;
   /// Block until completion or timeout. On timeout the waiter slot is
   /// withdrawn, so a late response is dropped and every copy of this
-  /// future observes the timeout. payload may be null. The payload is
-  /// moved out by the first Wait that asks for it (responses can be whole
-  /// fragments); later Waits still see the status but an empty payload.
+  /// future observes the timeout as a typed Status::Unavailable (a wedged
+  /// peer is indistinguishable from a dead one at this layer). payload
+  /// may be null. The payload is moved out by the first Wait that asks
+  /// for it (responses can be whole fragments); later Waits still see the
+  /// status but an empty payload.
   Status Wait(std::string* payload, int timeout_ms = 30000);
+  /// Deadline-propagating variant: callers thread one util::Deadline down
+  /// a whole call chain instead of stacking per-hop 30 s defaults.
+  Status WaitUntil(std::string* payload, const util::Deadline& deadline);
 
   /// Withdraw interest in the result (hedged/duplicated requests: the
   /// losing attempt is cancelled once a winner returns). The waiter slot
@@ -116,8 +122,8 @@ class RpcEndpoint {
   /// failure yields an immediately-failed future.
   Future AsyncCall(NodeId dst, const Slice& request);
 
-  /// Synchronous request/response. Fails with Unavailable if dst is dead,
-  /// IOError on timeout.
+  /// Synchronous request/response. Fails with Unavailable if dst is dead
+  /// or the deadline passes with no response.
   Status Call(NodeId dst, const Slice& request, std::string* response,
               int timeout_ms = 30000);
 
@@ -167,6 +173,12 @@ class RpcEndpoint {
   WriteImmHandler write_imm_handler_;
 
   std::atomic<bool> running_{false};
+  /// Set when Stop() begins, cleared by Start(). New sends fast-fail
+  /// Unavailable while set: with the xchg threads gone nothing would
+  /// ever fulfill their waiters, and a server shutting down must not
+  /// hold its worker pools hostage for a full RPC timeout (see
+  /// StocServer::Stop).
+  std::atomic<bool> stopping_{false};
   std::vector<std::thread> xchg_threads_;
 
   /// Pending completions by request/token id. An entry is removed when

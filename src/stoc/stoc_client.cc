@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "util/failpoint.h"
+
 namespace nova {
 namespace stoc {
 namespace {
@@ -16,14 +18,56 @@ uint64_t NowUs() {
 
 }  // namespace
 
+bool StocClient::IsRoutable(rdma::NodeId stoc) const {
+  coord::Membership* m = membership();
+  return m == nullptr || m->IsRoutable(stoc);
+}
+
+bool StocClient::AdmitRpc(rdma::NodeId stoc) {
+  coord::Membership* m = membership();
+  return m == nullptr || m->IsRoutable(stoc) || m->AllowProbe(stoc);
+}
+
+void StocClient::ReportRpc(rdma::NodeId stoc, const Status& s) {
+  coord::Membership* m = membership();
+  if (m == nullptr) {
+    return;
+  }
+  if (s.IsUnavailable()) {
+    m->ReportFailure(stoc);
+  } else {
+    // Any answer — even an application error — proves the node is up.
+    m->ReportSuccess(stoc);
+  }
+}
+
 Status StocClient::SimpleCall(rdma::NodeId stoc, const std::string& req,
                               Slice* body, std::string* storage,
                               int timeout_ms) {
-  Status s = endpoint_->Call(stoc, req, storage, timeout_ms);
+  Status s = util::FailPoint::Check("stoc.call");
+  if (s.ok() && !AdmitRpc(stoc)) {
+    // Circuit open: fail fast without contacting (or penalizing) the node.
+    return Status::Unavailable("stoc circuit open");
+  }
+  if (s.ok()) {
+    s = endpoint_->Call(stoc, req, storage, timeout_ms);
+  }
+  ReportRpc(stoc, s);
   if (!s.ok()) {
     return s;
   }
   return ParseResponse(*storage, body);
+}
+
+Status StocClient::IdempotentCall(rdma::NodeId stoc, const std::string& req,
+                                  Slice* body, std::string* storage,
+                                  int timeout_ms) {
+  util::Deadline deadline = util::Deadline::After(timeout_ms);
+  util::RetryPolicy policy;
+  return policy.Run(deadline, static_cast<uint64_t>(stoc), [&] {
+    return SimpleCall(stoc, req, body, storage,
+                      static_cast<int>(deadline.remaining_ms(timeout_ms)));
+  });
 }
 
 PendingRead& PendingRead::operator=(PendingRead&& o) noexcept {
@@ -34,6 +78,7 @@ PendingRead& PendingRead::operator=(PendingRead&& o) noexcept {
   future_ = std::move(o.future_);
   load_ = std::move(o.load_);
   client_ = o.client_;
+  stoc_ = o.stoc_;
   start_us_ = o.start_us_;
   settled_ = o.settled_;
   o.load_ = nullptr;
@@ -66,6 +111,9 @@ Status PendingRead::Wait(std::string* out, int timeout_ms) {
   std::string storage;
   Status s = future_.Wait(&storage, timeout_ms);
   Settle(s.ok());
+  if (client_ != nullptr) {
+    client_->ReportRpc(stoc_, s);
+  }
   if (!s.ok()) {
     return s;
   }
@@ -111,6 +159,9 @@ Status PendingAppend::Arm() {
   if (!valid()) {
     return Status::InvalidArgument("invalid pending append");
   }
+  if (armed_) {
+    return armed_status_;  // already armed (or rejected by the breaker)
+  }
   armed_ = true;
   std::string storage;
   armed_status_ = alloc_.Wait(&storage);
@@ -133,6 +184,7 @@ Status PendingAppend::Arm() {
     flush_ack_.Wait(nullptr, 0);  // reap the never-to-complete token
     settled_ = true;
   }
+  client_->ReportRpc(stoc_, armed_status_);
   return armed_status_;
 }
 
@@ -152,6 +204,7 @@ Status PendingAppend::Wait(StocBlockHandle* handle, int timeout_ms) {
   std::string payload;
   Status s = flush_ack_.Wait(&payload, timeout_ms);
   settled_ = true;  // waited (or timed out, which withdrew the slot)
+  client_->ReportRpc(stoc_, s);
   if (!s.ok()) {
     return s;
   }
@@ -165,11 +218,25 @@ Status PendingAppend::Wait(StocBlockHandle* handle, int timeout_ms) {
 PendingAppend StocClient::AsyncAppendBlock(rdma::NodeId stoc,
                                            uint64_t file_id,
                                            const Slice& data) {
-  // 1. Ask the StoC for a buffer, registering our completion token.
   PendingAppend pending;
   pending.client_ = this;
   pending.stoc_ = stoc;
   pending.data_ = data;
+  Status fp = util::FailPoint::Check("stoc.append");
+  if (!fp.ok() || !AdmitRpc(stoc)) {
+    // Breaker open (or an injected append fault): pre-fail the append
+    // before any token or buffer is granted. Injected faults feed the
+    // health state machine like a real connection error would.
+    if (!fp.ok()) {
+      ReportRpc(stoc, fp);
+    }
+    pending.armed_ = true;
+    pending.armed_status_ =
+        fp.ok() ? Status::Unavailable("stoc circuit open") : fp;
+    pending.settled_ = true;  // no token allocated, nothing to reap
+    return pending;
+  }
+  // 1. Ask the StoC for a buffer, registering our completion token.
   uint64_t token = endpoint_->AllocToken(&pending.flush_ack_);
   std::string req;
   req.push_back(kOpAllocBlock);
@@ -210,6 +277,7 @@ std::vector<size_t> StocClient::RankReplicas(
     const std::vector<GatherRead::Target>& replicas) {
   struct Ranked {
     size_t index;
+    bool routable;
     int outstanding;
     uint64_t ewma;
   };
@@ -218,12 +286,18 @@ std::vector<size_t> StocClient::RankReplicas(
   for (size_t i = 0; i < replicas.size(); i++) {
     std::shared_ptr<StocLoad> l = load(replicas[i].stoc);
     ranked.push_back(
-        Ranked{i,
+        Ranked{i, IsRoutable(replicas[i].stoc),
                l->outstanding.load(std::memory_order_relaxed) +
                    l->rank_bias.load(std::memory_order_relaxed),
                l->ewma_us.load(std::memory_order_relaxed)});
   }
   std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    // Suspect/dead replicas sort last: they receive traffic only when
+    // every healthy replica has been exhausted (and even then only the
+    // half-open probe trickle is admitted).
+    if (a.routable != b.routable) {
+      return a.routable;
+    }
     if (a.outstanding != b.outstanding) {
       return a.outstanding < b.outstanding;
     }
@@ -242,6 +316,27 @@ std::vector<size_t> StocClient::RankReplicas(
 
 PendingRead StocClient::AsyncReadBlock(rdma::NodeId stoc, uint64_t file_id,
                                        uint64_t offset, uint64_t size) {
+  Status fp = util::FailPoint::Check("stoc.read");
+  if (!fp.ok()) {
+    // Injected read fault: pre-failed, feeds the health state machine.
+    PendingRead pending;
+    pending.client_ = this;
+    pending.stoc_ = stoc;
+    pending.settled_ = true;  // owns no load unit
+    pending.future_ = rdma::Future::Failed(std::move(fp));
+    return pending;
+  }
+  if (!AdmitRpc(stoc)) {
+    // Breaker open: fail fast without contacting (or penalizing) the
+    // node. client_ stays null so Wait does not report a failure the
+    // node never caused.
+    PendingRead pending;
+    pending.stoc_ = stoc;
+    pending.settled_ = true;
+    pending.future_ =
+        rdma::Future::Failed(Status::Unavailable("stoc circuit open"));
+    return pending;
+  }
   read_block_calls_.fetch_add(1, std::memory_order_relaxed);
   std::string req;
   req.push_back(kOpReadBlock);
@@ -316,10 +411,23 @@ Status StocClient::GatherReads(std::vector<GatherRead>* reads,
       continue;
     }
     // Power-of-d selection: rank the candidates by tracked load and fan
-    // the read out to the d least-loaded; the first success wins.
+    // the read out to the d least-loaded; the first success wins. The
+    // breaker caps the fan-out at the routable replicas (they rank
+    // first) so suspect/dead StoCs see no speculative traffic — only
+    // failover/hedge attempts, which AdmitRpc gates down to the
+    // half-open probe trickle.
     e.order = RankReplicas(r.replicas);
+    size_t routable = 0;
+    for (const GatherRead::Target& t : r.replicas) {
+      if (IsRoutable(t.stoc)) {
+        routable++;
+      }
+    }
     size_t d = std::max<size_t>(
         1, std::min<size_t>(policy.replica_d, e.order.size()));
+    if (routable > 0) {
+      d = std::min(d, routable);
+    }
     e.issued_at_us = NowUs();
     for (size_t a = 0; a < d; a++) {
       const GatherRead::Target& t = r.replicas[e.order[e.next_candidate++]];
@@ -425,7 +533,7 @@ Status StocClient::GatherReads(std::vector<GatherRead>* reads,
             a.done = true;
           }
         }
-        (*reads)[i].status = Status::IOError("rpc timeout");
+        (*reads)[i].status = Status::Unavailable("rpc deadline exceeded");
         e.finished = true;
         unfinished--;
       }
@@ -539,12 +647,13 @@ Status StocClient::NicAppend(const InMemFileHandle& handle,
   return SimpleCall(handle.stoc_id, req, &body, &storage);
 }
 
-Status StocClient::GetStats(rdma::NodeId stoc, StocStats* stats) {
+Status StocClient::GetStats(rdma::NodeId stoc, StocStats* stats,
+                            int timeout_ms) {
   std::string req;
   req.push_back(kOpStats);
   std::string storage;
   Slice body;
-  Status s = SimpleCall(stoc, req, &body, &storage);
+  Status s = IdempotentCall(stoc, req, &body, &storage, timeout_ms);
   if (!s.ok()) {
     return s;
   }
@@ -570,7 +679,7 @@ Status StocClient::QueryLogFiles(rdma::NodeId stoc, uint32_t range_id,
   PutVarint32(&req, range_id);
   std::string storage;
   Slice body;
-  Status s = SimpleCall(stoc, req, &body, &storage);
+  Status s = IdempotentCall(stoc, req, &body, &storage);
   if (!s.ok()) {
     return s;
   }
@@ -605,7 +714,7 @@ Status StocClient::ListFiles(rdma::NodeId stoc,
   req.push_back(kOpListFiles);
   std::string storage;
   Slice body;
-  Status s = SimpleCall(stoc, req, &body, &storage);
+  Status s = IdempotentCall(stoc, req, &body, &storage);
   if (!s.ok()) {
     return s;
   }

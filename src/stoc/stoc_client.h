@@ -12,9 +12,11 @@
 #include <string>
 #include <vector>
 
+#include "coord/membership.h"
 #include "rdma/rpc.h"
 #include "stoc/stoc_common.h"
 #include "util/histogram.h"
+#include "util/retry.h"
 
 namespace nova {
 namespace stoc {
@@ -89,6 +91,7 @@ class PendingRead {
   rdma::Future future_;
   std::shared_ptr<StocLoad> load_;
   StocClient* client_ = nullptr;
+  rdma::NodeId stoc_ = -1;
   uint64_t start_us_ = 0;
   bool settled_ = false;
 };
@@ -195,6 +198,28 @@ class StocClient {
                         uint64_t offset, uint64_t size, std::string* out,
                         int timeout_ms = 30000);
 
+  /// --- Membership circuit breaker (ISSUE 9) ---
+  ///
+  /// When set, no reads, writes, or hedges are routed to suspect/dead
+  /// StoCs (a half-open trickle of probes excepted, so recovery is
+  /// detected), and every RPC outcome feeds the health state machine.
+  /// The Membership is owned by the coordinator and must outlive this
+  /// client.
+  void set_membership(coord::Membership* m) {
+    membership_.store(m, std::memory_order_release);
+  }
+  coord::Membership* membership() const {
+    return membership_.load(std::memory_order_acquire);
+  }
+  /// True when normal traffic may be routed to stoc (no membership set,
+  /// or the node is alive).
+  bool IsRoutable(rdma::NodeId stoc) const;
+  /// Feed an RPC outcome into membership. Only connection-level failures
+  /// (Unavailable: dead node, deadline expiry, circuit-relevant injected
+  /// faults) count against a node; an application error still proves the
+  /// node answered.
+  void ReportRpc(rdma::NodeId stoc, const Status& s);
+
   void set_read_policy(const ReadPolicy& policy) {
     std::lock_guard<std::mutex> l(load_mu_);
     policy_ = policy;
@@ -249,7 +274,11 @@ class StocClient {
 
   /// --- Introspection / management ---
 
-  Status GetStats(rdma::NodeId stoc, StocStats* stats);
+  /// timeout_ms: load probes (power-of-d placement) pass a short budget
+  /// so a StoC dying mid-probe cannot stall the caller for the full RPC
+  /// timeout.
+  Status GetStats(rdma::NodeId stoc, StocStats* stats,
+                  int timeout_ms = 30000);
   /// In-memory log files of a range: used by LogC recovery.
   Status QueryLogFiles(rdma::NodeId stoc, uint32_t range_id,
                        std::vector<InMemFileHandle>* handles);
@@ -267,13 +296,24 @@ class StocClient {
 
   Status SimpleCall(rdma::NodeId stoc, const std::string& req, Slice* body,
                     std::string* storage, int timeout_ms = 30000);
+  /// SimpleCall under the unified RetryPolicy, for idempotent
+  /// introspection ops only (stats/list/query): transient Unavailable
+  /// results are retried with backoff inside the timeout_ms budget.
+  Status IdempotentCall(rdma::NodeId stoc, const std::string& req, Slice* body,
+                        std::string* storage, int timeout_ms = 30000);
+  /// Circuit-breaker admission for a single RPC: normal traffic to alive
+  /// nodes, a rate-limited probe to suspect/probing ones, nothing to dead
+  /// ones.
+  bool AdmitRpc(rdma::NodeId stoc);
   /// Candidate replica indices ranked by load, least-loaded first
-  /// (outstanding+bias, then latency EWMA, then index for determinism).
+  /// (routable before non-routable, then outstanding+bias, then latency
+  /// EWMA, then index for determinism).
   std::vector<size_t> RankReplicas(
       const std::vector<GatherRead::Target>& replicas);
   void RecordReadLatency(uint64_t us);
 
   rdma::RpcEndpoint* endpoint_;
+  std::atomic<coord::Membership*> membership_{nullptr};
   std::atomic<uint64_t> read_block_calls_{0};
   std::atomic<uint64_t> pod_reads_{0};
   std::atomic<uint64_t> hedged_issued_{0};

@@ -1,8 +1,13 @@
 #include "storage/block_store.h"
 
+#include "util/failpoint.h"
+
 namespace nova {
 
 uint64_t BlockStore::Append(uint64_t file_id, const Slice& data) {
+  // Failpoint "blockstore.append": delay-only site (a slow flushing disk)
+  // — Append has no error channel, so an armed error action is ignored.
+  util::FailPoint::Check("blockstore.append");
   std::lock_guard<std::mutex> l(mu_);
   std::string& f = files_[file_id];
   uint64_t offset = f.size();
@@ -12,6 +17,11 @@ uint64_t BlockStore::Append(uint64_t file_id, const Slice& data) {
 
 Status BlockStore::Read(uint64_t file_id, uint64_t offset, uint64_t n,
                         std::string* out) const {
+  // Failpoint "blockstore.read": injected media errors or read delays.
+  Status fp = util::FailPoint::Check("blockstore.read");
+  if (!fp.ok()) {
+    return fp;
+  }
   std::lock_guard<std::mutex> l(mu_);
   auto it = files_.find(file_id);
   if (it == files_.end()) {

@@ -1,0 +1,144 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace nova {
+namespace util {
+
+namespace {
+
+struct Site {
+  FailPoint::Trigger trigger;
+  bool is_error = false;
+  Status error;          // is_error
+  uint32_t delay_us = 0; // !is_error
+  uint64_t checks = 0;   // Checks observed since armed
+  uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Site> sites;
+  // splitmix64 state: deterministic across platforms, reseedable.
+  uint64_t rng_state = 0x9e3779b97f4a7c15ull;
+
+  double NextUniform() {
+    uint64_t z = (rng_state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z = z ^ (z >> 31);
+    return static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+  }
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+}  // namespace
+
+std::atomic<int> FailPoint::armed_count_{0};
+
+void FailPoint::EnableError(const std::string& site, Status error,
+                            Trigger trigger) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> l(r.mu);
+  bool fresh = r.sites.find(site) == r.sites.end();
+  Site& s = r.sites[site];
+  s = Site();
+  s.trigger = trigger;
+  s.is_error = true;
+  s.error = std::move(error);
+  if (fresh) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailPoint::EnableDelay(const std::string& site, uint32_t delay_us,
+                            Trigger trigger) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> l(r.mu);
+  bool fresh = r.sites.find(site) == r.sites.end();
+  Site& s = r.sites[site];
+  s = Site();
+  s.trigger = trigger;
+  s.is_error = false;
+  s.delay_us = delay_us;
+  if (fresh) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailPoint::Disable(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> l(r.mu);
+  if (r.sites.erase(site) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoint::DisableAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> l(r.mu);
+  armed_count_.fetch_sub(static_cast<int>(r.sites.size()),
+                         std::memory_order_relaxed);
+  r.sites.clear();
+}
+
+void FailPoint::Seed(uint64_t seed) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> l(r.mu);
+  // Avoid the all-zero fixed point and decorrelate nearby seeds.
+  r.rng_state = seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull;
+}
+
+Status FailPoint::Check(const std::string& site) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return Status::OK();
+  Status err;
+  uint32_t delay_us = 0;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> l(r.mu);
+    auto it = r.sites.find(site);
+    if (it == r.sites.end()) return Status::OK();
+    Site& s = it->second;
+    s.checks++;
+    if (s.checks <= s.trigger.skip) return Status::OK();
+    bool fire = false;
+    switch (s.trigger.kind) {
+      case Trigger::Kind::kAlways:
+        fire = true;
+        break;
+      case Trigger::Kind::kOnce:
+        fire = (s.fires == 0);
+        break;
+      case Trigger::Kind::kEveryNth:
+        fire = ((s.checks - s.trigger.skip) % s.trigger.nth == 0);
+        break;
+      case Trigger::Kind::kProbability:
+        fire = (r.NextUniform() < s.trigger.p);
+        break;
+    }
+    if (!fire) return Status::OK();
+    s.fires++;
+    if (s.is_error) {
+      err = s.error;
+    } else {
+      delay_us = s.delay_us;
+    }
+  }
+  if (delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+  return err.ok() ? Status::OK() : err;
+}
+
+uint64_t FailPoint::FireCount(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> l(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fires;
+}
+
+}  // namespace util
+}  // namespace nova

@@ -106,9 +106,9 @@ TEST_F(AsyncRpcTest, WaitTimesOutWhenNoReply) {
   client_->Start();
   rdma::Future f = client_->AsyncCall(1, "void");
   rdma::Future copy = f;
-  EXPECT_TRUE(f.Wait(nullptr, 50).IsIOError());
+  EXPECT_TRUE(f.Wait(nullptr, 50).IsUnavailable());
   EXPECT_TRUE(copy.ready());
-  EXPECT_TRUE(copy.Wait(nullptr, 50).IsIOError());
+  EXPECT_TRUE(copy.Wait(nullptr, 50).IsUnavailable());
 }
 
 // ---------------------------------------------------------------------------
