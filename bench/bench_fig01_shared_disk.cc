@@ -51,13 +51,20 @@ void Run(const BenchConfig& cfg) {
       {WorkloadType::kW100, 0},    {WorkloadType::kW100, 0.99},
       {WorkloadType::kSW50, 0},    {WorkloadType::kSW50, 0.99},
   };
+  JsonArtifact json("fig01_shared_disk");
   for (const Point& p : points) {
     double sn = RunConfig(cfg, p.type, p.theta, false);
     double sd = RunConfig(cfg, p.type, p.theta, true);
     printf("%-6s %-8s %15.0f %15.0f %7.1fx\n", WorkloadName(p.type),
            p.theta > 0 ? "Zipfian" : "Uniform", sn, sd, sd / sn);
     fflush(stdout);
+    json.Add(std::string(WorkloadName(p.type)) +
+                 (p.theta > 0 ? "/Zipfian" : "/Uniform"),
+             {{"shared_nothing_ops", sn},
+              {"shared_disk_ops", sd},
+              {"factor", sn > 0 ? sd / sn : 0}});
   }
+  json.Write(cfg.json_path);
 }
 
 }  // namespace bench

@@ -43,6 +43,7 @@ void Run(const BenchConfig& cfg) {
       {WorkloadType::kW100, 0},    {WorkloadType::kW100, 0.99},
       {WorkloadType::kSW50, 0},    {WorkloadType::kSW50, 0.99},
   };
+  JsonArtifact json("fig11_dranges");
   for (const Point& p : points) {
     double r = RunSystem(cfg, baseline::System::kNovaLsmR, p.type, p.theta);
     double s = RunSystem(cfg, baseline::System::kNovaLsmS, p.type, p.theta);
@@ -51,7 +52,15 @@ void Run(const BenchConfig& cfg) {
            WorkloadName(p.type), p.theta > 0 ? "Zipfian" : "Uniform", r, s,
            nova, nova / r, nova / s);
     fflush(stdout);
+    json.Add(std::string(WorkloadName(p.type)) +
+                 (p.theta > 0 ? "/Zipfian" : "/Uniform"),
+             {{"nova_r_ops", r},
+              {"nova_s_ops", s},
+              {"nova_ops", nova},
+              {"vs_r", r > 0 ? nova / r : 0},
+              {"vs_s", s > 0 ? nova / s : 0}});
   }
+  json.Write(cfg.json_path);
 }
 
 }  // namespace bench

@@ -12,6 +12,7 @@ void Run(const BenchConfig& cfg) {
   PrintHeader("Figure 12: impact of skew (eta=1, beta=10, rho=1, theta=16)");
   printf("%-6s %12s %12s %12s %12s\n", "wload", "Uniform", "Zipf0.27",
          "Zipf0.73", "Zipf0.99");
+  JsonArtifact json("fig12_skew");
   for (WorkloadType type :
        {WorkloadType::kRW50, WorkloadType::kW100, WorkloadType::kSW50}) {
     printf("%-6s", WorkloadName(type));
@@ -40,9 +41,15 @@ void Run(const BenchConfig& cfg) {
                base > 0 ? r.ops_per_sec / base : 0);
       }
       fflush(stdout);
+      char label[48];
+      snprintf(label, sizeof(label), "%s/zipf%.2f", WorkloadName(type),
+               theta);
+      json.Add(label, {{"ops_per_sec", r.ops_per_sec},
+                       {"vs_uniform", base > 0 ? r.ops_per_sec / base : 1}});
     }
     printf("\n");
   }
+  json.Write(cfg.json_path);
 }
 
 }  // namespace bench

@@ -22,6 +22,7 @@ void Run(const BenchConfig& cfg) {
       {WorkloadType::kW100, 0},    {WorkloadType::kW100, 0.99},
       {WorkloadType::kSW50, 0},    {WorkloadType::kSW50, 0.99},
   };
+  JsonArtifact json("fig13_stoc_scaling");
   for (const Point& p : points) {
     printf("%-6s %-8s", WorkloadName(p.type),
            p.theta > 0 ? "Zipfian" : "Uniform");
@@ -45,9 +46,14 @@ void Run(const BenchConfig& cfg) {
       last = r.ops_per_sec;
       printf(" %10.0f ", r.ops_per_sec);
       fflush(stdout);
+      char label[48];
+      snprintf(label, sizeof(label), "%s/%s/beta%d", WorkloadName(p.type),
+               p.theta > 0 ? "Zipfian" : "Uniform", beta);
+      json.Add(label, {{"ops_per_sec", r.ops_per_sec}});
     }
     printf(" %8.2fx\n", first > 0 ? last / first : 0);
   }
+  json.Write(cfg.json_path);
 }
 
 }  // namespace bench

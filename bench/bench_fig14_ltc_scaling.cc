@@ -14,6 +14,7 @@ void Run(const BenchConfig& cfg) {
     printf("    eta=%-2d  ", eta);
   }
   printf(" scal(5/1)\n");
+  JsonArtifact json("fig14_ltc_scaling");
   for (WorkloadType type :
        {WorkloadType::kRW50, WorkloadType::kW100, WorkloadType::kSW50}) {
     printf("%-6s", WorkloadName(type));
@@ -37,9 +38,13 @@ void Run(const BenchConfig& cfg) {
       last = r.ops_per_sec;
       printf(" %10.0f ", r.ops_per_sec);
       fflush(stdout);
+      char label[48];
+      snprintf(label, sizeof(label), "%s/eta%d", WorkloadName(type), eta);
+      json.Add(label, {{"ops_per_sec", r.ops_per_sec}});
     }
     printf(" %8.2fx\n", first > 0 ? last / first : 0);
   }
+  json.Write(cfg.json_path);
 }
 
 }  // namespace bench

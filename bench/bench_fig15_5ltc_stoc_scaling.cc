@@ -14,6 +14,7 @@ void Run(const BenchConfig& cfg) {
     printf("   beta=%-2d  ", beta);
   }
   printf(" scal(10/1)\n");
+  JsonArtifact json("fig15_5ltc_stoc_scaling");
   for (WorkloadType type :
        {WorkloadType::kRW50, WorkloadType::kW100, WorkloadType::kSW50}) {
     printf("%-6s", WorkloadName(type));
@@ -37,9 +38,13 @@ void Run(const BenchConfig& cfg) {
       last = r.ops_per_sec;
       printf(" %10.0f ", r.ops_per_sec);
       fflush(stdout);
+      char label[48];
+      snprintf(label, sizeof(label), "%s/beta%d", WorkloadName(type), beta);
+      json.Add(label, {{"ops_per_sec", r.ops_per_sec}});
     }
     printf(" %8.2fx\n", first > 0 ? last / first : 0);
   }
+  json.Write(cfg.json_path);
 }
 
 }  // namespace bench

@@ -23,6 +23,7 @@ void Run(const BenchConfig& cfg) {
     printf(" %12s", m.label);
   }
   printf("\n");
+  JsonArtifact json("fig16_replication");
   for (WorkloadType type :
        {WorkloadType::kRW50, WorkloadType::kW100, WorkloadType::kSW50}) {
     printf("%-6s", WorkloadName(type));
@@ -44,18 +45,28 @@ void Run(const BenchConfig& cfg) {
           RunWorkload(&cluster, spec, cfg.seconds, cfg.client_threads);
       printf(" %12.0f", r.ops_per_sec);
       fflush(stdout);
+      double util_sum = 0;
       if (type == WorkloadType::kW100) {
         // (b): record per-StoC disk bandwidth for the W100 row.
         printf("\n    %s disk util:", m.label);
         for (int i = 0; i < cluster.num_stocs(); i++) {
-          printf(" %2.0f%%", 100.0 * cluster.device(i)->WindowUtilization());
+          double util = cluster.device(i)->WindowUtilization();
+          util_sum += util;
+          printf(" %2.0f%%", 100.0 * util);
         }
         printf("\n%-6s", "");
       }
       cluster.Stop();
+      json.Add(std::string(WorkloadName(type)) + "/" + m.label,
+               {{"ops_per_sec", r.ops_per_sec},
+                {"avg_disk_util_pct",
+                 type == WorkloadType::kW100
+                     ? 100.0 * util_sum / cluster.num_stocs()
+                     : 0}});
     }
     printf("\n");
   }
+  json.Write(cfg.json_path);
 }
 
 }  // namespace bench

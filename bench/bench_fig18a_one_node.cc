@@ -51,6 +51,7 @@ void Run(const BenchConfig& cfg) {
       {WorkloadType::kW100, 0},    {WorkloadType::kW100, 0.99},
       {WorkloadType::kSW50, 0},    {WorkloadType::kSW50, 0.99},
   };
+  JsonArtifact json("fig18a_one_node");
   for (const Point& p : points) {
     printf("%-6s %-8s", WorkloadName(p.type),
            p.theta > 0 ? "Zipfian" : "Uniform");
@@ -58,9 +59,14 @@ void Run(const BenchConfig& cfg) {
       double ops = RunSystem(cfg, s, p.type, p.theta);
       printf(" %13.0f", ops);
       fflush(stdout);
+      json.Add(std::string(WorkloadName(p.type)) +
+                   (p.theta > 0 ? "/Zipfian/" : "/Uniform/") +
+                   baseline::SystemName(s),
+               {{"ops_per_sec", ops}});
     }
     printf("\n");
   }
+  json.Write(cfg.json_path);
 }
 
 }  // namespace bench

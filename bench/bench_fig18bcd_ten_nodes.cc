@@ -67,6 +67,7 @@ void Run(const BenchConfig& cfg) {
       {WorkloadType::kW100, 0},    {WorkloadType::kW100, 0.99},
       {WorkloadType::kSW50, 0},    {WorkloadType::kSW50, 0.99},
   };
+  JsonArtifact json("fig18bcd_ten_nodes");
   for (const Db& db : dbs) {
     printf("--- %s (%llu keys) ---\n", db.label,
            static_cast<unsigned long long>(db.keys));
@@ -83,10 +84,14 @@ void Run(const BenchConfig& cfg) {
             RunSystem(cfg, s.system, db.keys, p.type, p.theta, s.logging);
         printf(" %11.0f", ops);
         fflush(stdout);
+        json.Add(std::string(db.label) + "/" + WorkloadName(p.type) +
+                     (p.theta > 0 ? "/Zipfian/" : "/Uniform/") + s.label,
+                 {{"ops_per_sec", ops}});
       }
       printf("\n");
     }
   }
+  json.Write(cfg.json_path);
 }
 
 }  // namespace bench

@@ -12,7 +12,7 @@
 namespace nova {
 namespace bench {
 
-void RunLtcElasticity(const BenchConfig& cfg) {
+void RunLtcElasticity(const BenchConfig& cfg, JsonArtifact* json) {
   printf("-- (a) SW50 Uniform: +LTC / -LTC --\n");
   coord::ClusterOptions opt = PaperScaledOptions(3, 10);
   opt.split_points = EvenSplitPoints(cfg.num_keys, 6);
@@ -32,6 +32,7 @@ void RunLtcElasticity(const BenchConfig& cfg) {
 
   std::atomic<bool> stop{false};
   std::thread driver([&] {
+    int step = 0;
     auto phase = [&](const char* label) {
       RunResult r =
           RunWorkload(&cluster, spec, cfg.seconds, cfg.client_threads, &stop);
@@ -41,6 +42,9 @@ void RunLtcElasticity(const BenchConfig& cfg) {
       }
       printf("\n");
       fflush(stdout);
+      char key[48];
+      snprintf(key, sizeof(key), "ltc/%d/%s", step++, label);
+      json->Add(key, {{"ops_per_sec", r.ops_per_sec}});
     };
     phase("1 LTC");
     // +1 LTC: move half the ranges.
@@ -57,7 +61,7 @@ void RunLtcElasticity(const BenchConfig& cfg) {
   cluster.Stop();
 }
 
-void RunStocElasticity(const BenchConfig& cfg) {
+void RunStocElasticity(const BenchConfig& cfg, JsonArtifact* json) {
   printf("-- (b) RW50 Uniform: +StoC / -StoC --\n");
   coord::ClusterOptions opt = PaperScaledOptions(3, 3);
   opt.split_points = EvenSplitPoints(cfg.num_keys, 3);
@@ -71,12 +75,18 @@ void RunStocElasticity(const BenchConfig& cfg) {
   LoadData(&cluster, spec, cfg.client_threads);
   spec.type = WorkloadType::kRW50;
 
+  int step = 0;
   auto phase = [&](const char* label) {
     RunResult r =
         RunWorkload(&cluster, spec, cfg.seconds, cfg.client_threads);
+    int alive = static_cast<int>(cluster.AliveStocNodes().size());
     printf("%-8s %9.0f ops/s (beta=%d alive)\n", label, r.ops_per_sec,
-           static_cast<int>(cluster.AliveStocNodes().size()));
+           alive);
     fflush(stdout);
+    char key[48];
+    snprintf(key, sizeof(key), "stoc/%d/%s", step++, label);
+    json->Add(key, {{"ops_per_sec", r.ops_per_sec},
+                    {"alive_stocs", static_cast<double>(alive)}});
   };
   phase("3 StoC");
   std::vector<int> added;
@@ -93,8 +103,10 @@ void RunStocElasticity(const BenchConfig& cfg) {
 
 void Run(const BenchConfig& cfg) {
   PrintHeader("Figure 20: elasticity (adding/removing LTCs and StoCs)");
-  RunLtcElasticity(cfg);
-  RunStocElasticity(cfg);
+  JsonArtifact json("fig20_elasticity");
+  RunLtcElasticity(cfg, &json);
+  RunStocElasticity(cfg, &json);
+  json.Write(cfg.json_path);
 }
 
 }  // namespace bench

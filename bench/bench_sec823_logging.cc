@@ -8,8 +8,8 @@
 namespace nova {
 namespace bench {
 
-void RunServiceTime(const BenchConfig& cfg, const char* label,
-                    logc::LogMode mode, bool nic) {
+void RunServiceTime(const BenchConfig& cfg, JsonArtifact* json,
+                    const char* label, logc::LogMode mode, bool nic) {
   coord::ClusterOptions opt = PaperScaledOptions(1, 3);
   opt.range.log.mode = mode;
   opt.range.log.num_replicas = 3;
@@ -25,11 +25,15 @@ void RunServiceTime(const BenchConfig& cfg, const char* label,
          r.write_latency->Average(), r.write_latency->Percentile(95),
          r.ops_per_sec);
   fflush(stdout);
+  json->Add(std::string("service/") + label,
+            {{"avg_us", r.write_latency->Average()},
+             {"p95_us", r.write_latency->Percentile(95)},
+             {"ops_per_sec", r.ops_per_sec}});
   cluster.Stop();
 }
 
-void RunThroughput(const BenchConfig& cfg, const char* label, double theta,
-                   logc::LogMode mode) {
+void RunThroughput(const BenchConfig& cfg, JsonArtifact* json,
+                   const char* label, double theta, logc::LogMode mode) {
   coord::ClusterOptions opt = PaperScaledOptions(1, 10);
   opt.range.log.mode = mode;
   opt.range.log.num_replicas = 3;
@@ -43,22 +47,29 @@ void RunThroughput(const BenchConfig& cfg, const char* label, double theta,
   RunResult r = RunWorkload(&cluster, spec, cfg.seconds, cfg.client_threads);
   printf("%-34s %9.0f ops/s\n", label, r.ops_per_sec);
   fflush(stdout);
+  json->Add(std::string("throughput/") + label,
+            {{"ops_per_sec", r.ops_per_sec}});
   cluster.Stop();
 }
 
 void Run(const BenchConfig& cfg) {
   PrintHeader("Section 8.2.3: logging overhead");
+  JsonArtifact json("sec823_logging");
   printf("-- put service time (3 replicas) --\n");
-  RunServiceTime(cfg, "logging disabled", logc::LogMode::kNone, false);
-  RunServiceTime(cfg, "RDMA in-memory replication x3",
+  RunServiceTime(cfg, &json, "logging disabled", logc::LogMode::kNone, false);
+  RunServiceTime(cfg, &json, "RDMA in-memory replication x3",
                  logc::LogMode::kInMemory, false);
-  RunServiceTime(cfg, "NIC-path replication x3 (StoC CPU)",
+  RunServiceTime(cfg, &json, "NIC-path replication x3 (StoC CPU)",
                  logc::LogMode::kInMemory, true);
   printf("-- W100 throughput --\n");
-  RunThroughput(cfg, "Uniform, logging off", 0, logc::LogMode::kNone);
-  RunThroughput(cfg, "Uniform, logging on", 0, logc::LogMode::kInMemory);
-  RunThroughput(cfg, "Zipfian, logging off", 0.99, logc::LogMode::kNone);
-  RunThroughput(cfg, "Zipfian, logging on", 0.99, logc::LogMode::kInMemory);
+  RunThroughput(cfg, &json, "Uniform, logging off", 0, logc::LogMode::kNone);
+  RunThroughput(cfg, &json, "Uniform, logging on", 0,
+                logc::LogMode::kInMemory);
+  RunThroughput(cfg, &json, "Zipfian, logging off", 0.99,
+                logc::LogMode::kNone);
+  RunThroughput(cfg, &json, "Zipfian, logging on", 0.99,
+                logc::LogMode::kInMemory);
+  json.Write(cfg.json_path);
 }
 
 }  // namespace bench

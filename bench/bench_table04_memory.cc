@@ -20,6 +20,7 @@ void Run(const BenchConfig& cfg) {
   Row rows[] = {{"32 MB", 1, 2},   {"64 MB", 2, 4},   {"128 MB", 4, 8},
                 {"256 MB", 8, 16}, {"512 MB", 16, 32}, {"1 GB", 32, 64},
                 {"2 GB", 64, 128}};
+  JsonArtifact json("table04_memory");
   for (const Row& row : rows) {
     coord::ClusterOptions opt = PaperScaledOptions(1, 10);
     opt.range.max_memtables = row.delta;
@@ -41,8 +42,15 @@ void Run(const BenchConfig& cfg) {
            100.0 * stats.stall_us / 1e6 / r.duration_sec /
                cfg.client_threads);
     fflush(stdout);
+    json.Add(row.label,
+             {{"alpha", static_cast<double>(row.alpha)},
+              {"delta", static_cast<double>(row.delta)},
+              {"ops_per_sec", r.ops_per_sec},
+              {"stall_pct", 100.0 * stats.stall_us / 1e6 / r.duration_sec /
+                                cfg.client_threads}});
     cluster.Stop();
   }
+  json.Write(cfg.json_path);
 }
 
 }  // namespace bench

@@ -3,7 +3,7 @@
 # into dedicated build trees and runs `ctest -L tier1` under each.
 #
 # Usage:
-#   ci/run_sanitized_tier1.sh [thread|address|chaos|all] [extra ctest args...]
+#   ci/run_sanitized_tier1.sh [thread|address|chaos|compression|all] [extra ctest args...]
 #
 # Defaults to `all`. Extra arguments are forwarded to ctest, e.g.
 #   ci/run_sanitized_tier1.sh thread -R Churn --repeat until-fail:20
@@ -14,6 +14,12 @@
 # kill/restart under failpoint-injected RPC errors, 10 seeds) under TSan
 # — the gate for the failure-detection/repair work (ISSUE 9). `all` runs
 # it after the two full tier-1 passes.
+#
+# `compression` runs only the block-compression / cache-tier suites
+# (Compressor, stored-block corruption, two-queue admission, compressed
+# tier, compressed-fragment repair) under ASan — decompression scratch
+# buffers and the trailer parsing paths are where out-of-bounds reads
+# would hide. `all` includes these tests via the full ASan tier-1 pass.
 #
 # Sanitized runs are several times slower than the plain suite; -j is
 # capped below the machine width so the timing-sensitive churn tests do
@@ -56,6 +62,22 @@ run_chaos() {
           --output-on-failure "$@"
 }
 
+# Compression stage: ASan over the codec, trailer-corruption, cache-tier,
+# and compressed-repair suites. Fast enough to run on every change to the
+# read path; the full `address` pass subsumes it.
+run_compression() {
+  local build_dir="${repo_root}/build-addresssan"
+  echo "==> [compression] configure + build (${build_dir})"
+  cmake -S "${repo_root}" -B "${build_dir}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSANITIZE=address >/dev/null
+  cmake --build "${build_dir}" -j "$(nproc)" >/dev/null
+  echo "==> [compression] ctest compression/cache suites (ASan)"
+  ASAN_OPTIONS="detect_leaks=0" \
+    ctest --test-dir "${build_dir}" \
+          -R "CompressorTest|FormatTest|SSTableReaderTest|TwoQueueLRUCacheTest|BlockCacheClusterTest|RepairTest.RebuiltFragmentsAreByteIdenticalCompressedImages" \
+          -j "${jobs}" --output-on-failure "$@"
+}
+
 case "${mode}" in
   thread|address)
     run_one "${mode}" "$@"
@@ -63,13 +85,16 @@ case "${mode}" in
   chaos)
     run_chaos "$@"
     ;;
+  compression)
+    run_compression "$@"
+    ;;
   all)
     run_one thread "$@"
     run_one address "$@"
     run_chaos "$@"
     ;;
   *)
-    echo "usage: $0 [thread|address|chaos|all] [extra ctest args...]" >&2
+    echo "usage: $0 [thread|address|chaos|compression|all] [extra ctest args...]" >&2
     exit 2
     ;;
 esac

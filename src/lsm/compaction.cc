@@ -63,6 +63,7 @@ std::string CompactionJob::Serialize() const {
   PutVarint32(&out, is_last_level ? 1 : 0);
   PutVarint64(&out, first_output_number);
   PutVarint32(&out, static_cast<uint32_t>(std::max(0, readahead_blocks)));
+  PutVarint32(&out, static_cast<uint32_t>(std::max(0, compression_codec)));
   return out;
 }
 
@@ -106,15 +107,16 @@ Status CompactionJob::Deserialize(Slice input) {
     }
     boundaries.push_back(b.ToString());
   }
-  uint32_t readahead;
+  uint32_t readahead, codec;
   if (!GetVarint64(&input, &max_output_bytes) ||
       !GetVarint32(&input, &last) ||
       !GetVarint64(&input, &first_output_number) ||
-      !GetVarint32(&input, &readahead)) {
+      !GetVarint32(&input, &readahead) || !GetVarint32(&input, &codec)) {
     return Status::Corruption("bad compaction job tail");
   }
   is_last_level = last != 0;
   readahead_blocks = static_cast<int>(readahead);
+  compression_codec = static_cast<int>(codec);
   return Status::OK();
 }
 
@@ -129,6 +131,7 @@ std::string CompactionResult::Serialize() const {
   PutVarint64(&out, gather_waves);
   PutVarint64(&out, bytes_read);
   PutVarint64(&out, bytes_written);
+  PutVarint64(&out, raw_bytes_written);
   return out;
 }
 
@@ -150,7 +153,8 @@ Status CompactionResult::Deserialize(Slice input) {
       !GetVarint64(&input, &records_out) ||
       !GetVarint64(&input, &gather_waves) ||
       !GetVarint64(&input, &bytes_read) ||
-      !GetVarint64(&input, &bytes_written)) {
+      !GetVarint64(&input, &bytes_written) ||
+      !GetVarint64(&input, &raw_bytes_written)) {
     return Status::Corruption("bad compaction result tail");
   }
   return Status::OK();
@@ -579,6 +583,10 @@ Status CompactionExecutor::Run(const CompactionJob& job,
 
   PlacementOptions popt = placer_->options();
   SSTableBuilderOptions bopt;
+  bopt.compressor = job.compression_codec > 0
+                        ? GetCompressor(static_cast<uint8_t>(
+                              job.compression_codec))
+                        : nullptr;
 
   // Stage 3: finished outputs are armed through StartWrite and their
   // flush acks collected while the merge continues; only when
@@ -605,6 +613,7 @@ Status CompactionExecutor::Run(const CompactionJob& job,
     }
     auto built = builder->Finish(next_number++, popt.rho);
     builder.reset();
+    result->raw_bytes_written += built.raw_bytes;
     throttle_->Charge(costs.compaction_write_sstable_us);
     if (pipelined) {
       PendingSSTable pending;

@@ -57,6 +57,10 @@ struct CompactionJob {
   /// Serialized so an offloaded job honors the scheduling LTC's
   /// compaction_readahead_blocks knob.
   int readahead_blocks = 0;
+  /// Codec id (CompressionCodec) the output builders compress data blocks
+  /// with; 0 = store raw. Serialized so an offloaded StoC writes outputs
+  /// in the same format the scheduling LTC expects to read back.
+  int compression_codec = 0;
 
   uint64_t total_input_bytes() const {
     uint64_t n = 0;
@@ -79,6 +83,9 @@ struct CompactionResult {
   uint64_t gather_waves = 0;
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
+  /// What bytes_written would have been with every output block stored
+  /// raw; raw/written is the compaction's compression ratio.
+  uint64_t raw_bytes_written = 0;
 
   std::string Serialize() const;
   Status Deserialize(Slice input);

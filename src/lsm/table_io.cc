@@ -140,11 +140,19 @@ void TableCache::DeleteEntry(const Slice& /*key*/, void* value) {
   delete static_cast<Entry*>(value);
 }
 
+namespace {
+void DeleteCachedMetadata(const Slice& /*key*/, void* value) {
+  delete static_cast<std::string*>(value);
+}
+}  // namespace
+
 TableCache::TableCache(stoc::StocClient* client, Cache* cache,
                        uint32_t range_id, bool cache_data_blocks,
-                       int readahead_blocks, ReadaheadCounters* readahead)
+                       int readahead_blocks, ReadaheadCounters* readahead,
+                       Cache* compressed_cache)
     : client_(client),
       live_readers_(std::make_shared<std::atomic<size_t>>(0)),
+      compressed_cache_(compressed_cache),
       range_id_(range_id),
       cache_data_blocks_(cache_data_blocks),
       readahead_blocks_(readahead_blocks),
@@ -158,11 +166,14 @@ TableCache::TableCache(stoc::StocClient* client, Cache* cache,
 
 TableCache::~TableCache() {
   if (owned_cache_ == nullptr) {
-    // Shared cache outlives us: drop this range's readers and blocks so a
+    // Shared caches outlive us: drop this range's readers and blocks so a
     // departed range does not squat on the node-wide charge budget.
     std::string range_prefix;
     PutFixed32(&range_prefix, range_id_);
     cache_->EraseWithPrefix(range_prefix);
+    if (compressed_cache_ != nullptr) {
+      compressed_cache_->EraseWithPrefix(range_prefix);
+    }
   }
 }
 
@@ -170,22 +181,44 @@ Status TableCache::GetReader(const FileMetaRef& meta, Handle* handle) {
   std::string key = BlockCachePrefix(range_id_, meta->number);
   Cache::Handle* h = cache_->Lookup(key, /*count=*/false);
   if (h == nullptr) {
-    // Fetch the metadata block via power-of-d replica selection (the
-    // replicas are equivalent, so the least-loaded wins). Concurrent
-    // misses on the same file may both open it; the loser's entry is
-    // displaced and reclaimed once its pins drop.
-    std::vector<stoc::GatherRead::Target> targets;
-    targets.reserve(meta->meta_replicas.size());
-    for (const BlockLocation& loc : meta->meta_replicas) {
-      targets.push_back({loc.stoc_id, loc.file_id});
-    }
+    // The compressed tier keeps the encoded metadata block under the
+    // reader's own key (block keys always append an offset, so the bare
+    // prefix cannot collide): a reader evicted from the hot tier reopens
+    // without a StoC round trip.
     std::string encoded;
-    Status s = client_->ReadReplicated(targets, 0, 0, &encoded);
-    if (!s.ok()) {
-      return s;
+    bool cached = false;
+    if (compressed_cache_ != nullptr) {
+      Cache::Handle* ch = compressed_cache_->Lookup(key);
+      if (ch != nullptr) {
+        encoded = *static_cast<const std::string*>(
+            compressed_cache_->Value(ch));
+        compressed_cache_->Release(ch);
+        cached = true;
+      }
+    }
+    if (!cached) {
+      // Fetch the metadata block via power-of-d replica selection (the
+      // replicas are equivalent, so the least-loaded wins). Concurrent
+      // misses on the same file may both open it; the loser's entry is
+      // displaced and reclaimed once its pins drop.
+      std::vector<stoc::GatherRead::Target> targets;
+      targets.reserve(meta->meta_replicas.size());
+      for (const BlockLocation& loc : meta->meta_replicas) {
+        targets.push_back({loc.stoc_id, loc.file_id});
+      }
+      Status s = client_->ReadReplicated(targets, 0, 0, &encoded);
+      if (!s.ok()) {
+        return s;
+      }
+      if (compressed_cache_ != nullptr) {
+        auto* copy = new std::string(encoded);
+        compressed_cache_->Release(compressed_cache_->Insert(
+            key, copy, copy->size() + sizeof(std::string),
+            &DeleteCachedMetadata));
+      }
     }
     SSTableMetadata table_meta;
-    s = table_meta.DecodeFrom(encoded);
+    Status s = table_meta.DecodeFrom(encoded);
     if (!s.ok()) {
       return s;
     }
@@ -194,7 +227,7 @@ Status TableCache::GetReader(const FileMetaRef& meta, Handle* handle) {
     entry->reader = std::make_unique<SSTableReader>(
         std::move(table_meta), entry->fetcher.get(),
         cache_data_blocks_ ? cache_ : nullptr, range_id_, readahead_blocks_,
-        readahead_);
+        readahead_, cache_data_blocks_ ? compressed_cache_ : nullptr);
     entry->live_readers = live_readers_;
     live_readers_->fetch_add(1, std::memory_order_relaxed);
     size_t charge = sizeof(Entry) + sizeof(SSTableReader) +
@@ -211,8 +244,13 @@ Status TableCache::GetReader(const FileMetaRef& meta, Handle* handle) {
 }
 
 void TableCache::Evict(uint64_t number) {
-  // The reader entry and all of the file's data blocks share this prefix.
-  cache_->EraseWithPrefix(BlockCachePrefix(range_id_, number));
+  // The reader entry and all of the file's data blocks share this prefix
+  // in both tiers.
+  std::string prefix = BlockCachePrefix(range_id_, number);
+  cache_->EraseWithPrefix(prefix);
+  if (compressed_cache_ != nullptr) {
+    compressed_cache_->EraseWithPrefix(prefix);
+  }
 }
 
 void TableCache::EvictBatch(const std::vector<uint64_t>& numbers) {
@@ -224,12 +262,16 @@ void TableCache::EvictBatch(const std::vector<uint64_t>& numbers) {
   PutFixed32(&range_prefix, range_id_);
   // The match runs per resident entry under the shard lock: decode the
   // file number in place rather than allocating a prefix string.
-  cache_->EraseMatching([&](const Slice& key) {
+  auto match = [&](const Slice& key) {
     return key.size() >= range_prefix.size() + 8 &&
            memcmp(key.data(), range_prefix.data(), range_prefix.size()) ==
                0 &&
            dead.count(DecodeFixed64(key.data() + range_prefix.size())) > 0;
-  });
+  };
+  cache_->EraseMatching(match);
+  if (compressed_cache_ != nullptr) {
+    compressed_cache_->EraseMatching(match);
+  }
 }
 
 size_t TableCache::size() const {

@@ -72,10 +72,14 @@ class TableCache {
   /// blocks in ReadBlock (the StoC read-path block cache).
   /// readahead_blocks/readahead: scan-readahead depth and counter sink
   /// handed to every reader this cache opens (see SSTableReader).
+  /// compressed_cache (optional): the compressed block tier handed to
+  /// every reader (see SSTableReader); invalidation sweeps it alongside
+  /// the hot tier.
   explicit TableCache(stoc::StocClient* client, Cache* cache = nullptr,
                       uint32_t range_id = 0, bool cache_data_blocks = false,
                       int readahead_blocks = 0,
-                      ReadaheadCounters* readahead = nullptr);
+                      ReadaheadCounters* readahead = nullptr,
+                      Cache* compressed_cache = nullptr);
   ~TableCache();
 
   /// A pinned reader: keeps the underlying reader (and its fetcher) alive
@@ -108,6 +112,7 @@ class TableCache {
   std::shared_ptr<std::atomic<size_t>> live_readers_;
   std::unique_ptr<Cache> owned_cache_;
   Cache* cache_;
+  Cache* compressed_cache_;
   uint32_t range_id_;
   bool cache_data_blocks_;
   int readahead_blocks_;

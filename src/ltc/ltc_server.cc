@@ -19,7 +19,16 @@ LtcServer::LtcServer(rdma::RdmaFabric* fabric,
   read_policy.hedge = options_.read_hedging;
   stoc_client_->set_read_policy(read_policy);
   if (options_.block_cache_bytes > 0) {
-    block_cache_.reset(NewShardedLRUCache(options_.block_cache_bytes));
+    block_cache_.reset(NewShardedLRUCache(options_.block_cache_bytes,
+                                          /*shard_bits=*/4,
+                                          options_.cache_hot_fraction));
+  }
+  if (options_.compressed_cache_bytes > 0) {
+    // Plain LRU: the compressed tier is already the demotion target, so
+    // no two-queue split inside it.
+    compressed_cache_.reset(NewShardedLRUCache(
+        options_.compressed_cache_bytes, /*shard_bits=*/4,
+        /*hot_fraction=*/1.0));
   }
   flush_pool_ = std::make_unique<ThreadPool>("ltc-flush",
                                              options_.num_flush_threads);
@@ -88,9 +97,13 @@ RangeEngine* LtcServer::AddRangeForRecovery(
   if (opt.max_compaction_jobs == 0) {
     opt.max_compaction_jobs = options_.max_compaction_jobs;
   }
+  if (opt.compression_codec == 0) {
+    opt.compression_codec = options_.compression_codec;
+  }
   auto engine = std::make_unique<RangeEngine>(
       opt, stoc_client_.get(), stocs, throttle_.get(),
-      flush_pool_.get(), compaction_pool_.get(), block_cache_.get());
+      flush_pool_.get(), compaction_pool_.get(), block_cache_.get(),
+      compressed_cache_.get());
   RangeEngine* ptr = engine.get();
   std::lock_guard<std::mutex> l(mu_);
   ranges_[options.range_id] = std::move(engine);
@@ -199,11 +212,18 @@ RangeStats LtcServer::TotalStats() {
     total.block_cache_misses += block_cache_->misses();
     total.block_cache_bytes += block_cache_->TotalCharge();
   }
+  if (compressed_cache_ != nullptr) {
+    total.block_cache_compressed_hits += compressed_cache_->hits();
+    total.block_cache_compressed_misses += compressed_cache_->misses();
+    total.block_cache_compressed_bytes += compressed_cache_->TotalCharge();
+  }
   // The StoC client (and its read-path replica selection) is likewise
   // shared across this LTC's ranges: counted once, node-wide.
   total.pod_reads += stoc_client_->pod_reads();
   total.hedged_issued += stoc_client_->hedged_issued();
   total.hedged_won += stoc_client_->hedged_won();
+  total.bytes_over_wire +=
+      stoc_client_->bytes_sent() + stoc_client_->bytes_received();
   RepairStats repair = repair_manager_->stats();
   total.degraded_fragments += repair.degraded_fragments;
   total.repaired_fragments += repair.repaired_fragments;

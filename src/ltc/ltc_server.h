@@ -34,6 +34,19 @@ struct LtcServerOptions {
   /// One data-block cache shared by all ranges on this LTC (StoC read
   /// path, charge-bounded sharded LRU). 0 = no data-block caching.
   size_t block_cache_bytes = 0;
+  /// Compressed-block tier shared by all ranges: verbatim stored bytes
+  /// kept after (or instead of) the uncompressed hot tier, served by
+  /// decompressing in LTC memory rather than a StoC round-trip. 0 = no
+  /// compressed tier.
+  size_t compressed_cache_bytes = 0;
+  /// Hot-tier fraction of block_cache_bytes for the two-queue
+  /// scan-resistant admission policy (see NewShardedLRUCache); >= 1
+  /// disables the split (classic LRU, the A/B baseline).
+  double cache_hot_fraction = 0.75;
+  /// Node-wide default for RangeEngineOptions::compression_codec: the
+  /// codec SSTable data blocks are written with. 0 = unset — resolves to
+  /// the built-in fast codec (kNovaLzCompression); -1 = store raw.
+  int compression_codec = 0;
   /// Node-wide default for RangeEngineOptions::readahead_blocks; applied
   /// to every added range that leaves its own knob at 0 (unset).
   int readahead_blocks = 0;
@@ -98,6 +111,8 @@ class LtcServer {
   ThreadPool* compaction_pool() { return compaction_pool_.get(); }
   /// Node-wide data-block cache (nullptr when block_cache_bytes == 0).
   Cache* block_cache() { return block_cache_.get(); }
+  /// Node-wide compressed tier (nullptr when compressed_cache_bytes == 0).
+  Cache* compressed_cache() { return compressed_cache_.get(); }
   RepairManager* repair_manager() { return repair_manager_.get(); }
 
   /// Aggregate stats over all ranges.
@@ -112,6 +127,7 @@ class LtcServer {
   std::unique_ptr<rdma::RpcEndpoint> endpoint_;
   std::unique_ptr<stoc::StocClient> stoc_client_;
   std::unique_ptr<Cache> block_cache_;
+  std::unique_ptr<Cache> compressed_cache_;
   std::unique_ptr<ThreadPool> flush_pool_;
   std::unique_ptr<ThreadPool> compaction_pool_;
   std::unique_ptr<RepairManager> repair_manager_;

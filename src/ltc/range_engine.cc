@@ -28,7 +28,8 @@ RangeEngine::RangeEngine(const RangeEngineOptions& options,
                          stoc::StocClient* client,
                          const std::vector<rdma::NodeId>& stocs,
                          sim::CpuThrottle* throttle, ThreadPool* flush_pool,
-                         ThreadPool* compaction_pool, Cache* block_cache)
+                         ThreadPool* compaction_pool, Cache* block_cache,
+                         Cache* compressed_cache)
     : options_(options),
       client_(client),
       stocs_(stocs),
@@ -44,14 +45,34 @@ RangeEngine::RangeEngine(const RangeEngineOptions& options,
         return ManifestAppend(record);
       });
   if (block_cache == nullptr && options_.block_cache_bytes > 0) {
-    owned_block_cache_.reset(NewShardedLRUCache(options_.block_cache_bytes));
+    owned_block_cache_.reset(NewShardedLRUCache(
+        options_.block_cache_bytes, /*shard_bits=*/4,
+        options_.cache_hot_fraction));
     block_cache = owned_block_cache_.get();
   }
   block_cache_ = block_cache;
+  if (compressed_cache == nullptr && options_.compressed_cache_bytes > 0) {
+    // The compressed tier is a plain LRU: everything in it is already
+    // "cold storage" relative to the hot tier, so no two-queue split.
+    owned_compressed_cache_.reset(NewShardedLRUCache(
+        options_.compressed_cache_bytes, /*shard_bits=*/4,
+        /*hot_fraction=*/1.0));
+    compressed_cache = owned_compressed_cache_.get();
+  }
+  compressed_cache_ = compressed_cache;
+  // 0 = unset: standalone engines default to the fast built-in codec;
+  // -1 (or any negative) forces raw blocks.
+  int codec = options_.compression_codec;
+  if (codec == 0) {
+    codec = kNovaLzCompression;
+  }
+  compressor_ = codec > 0 ? GetCompressor(static_cast<uint8_t>(codec))
+                          : nullptr;
   table_cache_ = std::make_unique<lsm::TableCache>(
       client_, block_cache_, options_.range_id,
       /*cache_data_blocks=*/block_cache_ != nullptr,
-      std::max(0, options_.readahead_blocks), &readahead_counters_);
+      std::max(0, options_.readahead_blocks), &readahead_counters_,
+      compressed_cache_);
   lsm::PlacementOptions popt;
   popt.stocs = stocs;
   popt.range_id = options_.range_id;
@@ -999,6 +1020,7 @@ Status RangeEngine::FlushToSSTable(const std::vector<MemTableRef>& mems,
       NewMergingIterator(&icmp_, std::move(children)));
 
   SSTableBuilderOptions bopt;
+  bopt.compressor = compressor_;
   SSTableBuilder builder(bopt);
   std::string last_key;
   bool has_last = false;
@@ -1031,6 +1053,7 @@ Status RangeEngine::FlushToSSTable(const std::vector<MemTableRef>& mems,
   lsm::PlacementOptions popt = placer_->options();
   auto built = builder.Finish(number, popt.rho);
   uint64_t data_size = built.data.size();
+  uint64_t raw_size = built.raw_bytes;
   lsm::FileMetaData meta;
   Status s = placer_->Write(std::move(built), drange_id, generation, &meta);
   if (!s.ok()) {
@@ -1077,6 +1100,8 @@ Status RangeEngine::FlushToSSTable(const std::vector<MemTableRef>& mems,
     std::lock_guard<std::mutex> l(stats_mu_);
     stats_.flushes++;
     stats_.bytes_flushed += data_size;
+    stats_.sstable_stored_bytes += data_size;
+    stats_.sstable_raw_bytes += raw_size;
   }
   stall_cv_.notify_all();
   return Status::OK();
@@ -1126,6 +1151,9 @@ void RangeEngine::ScheduleCompactions() {
     // The gather pipeline depth travels with the job so an offloaded run
     // honors this LTC's knob (-1 = forced serial).
     job.readahead_blocks = std::max(0, options_.compaction_readahead_blocks);
+    // The output codec travels with the job too: an offloaded StoC must
+    // write blocks this LTC can read back.
+    job.compression_codec = compressor_ != nullptr ? compressor_->id() : 0;
     uint64_t estimate =
         job.total_input_bytes() / std::max<uint64_t>(1, job.max_output_bytes) +
         job.boundaries.size() + 4;
@@ -1172,6 +1200,8 @@ void RangeEngine::RunCompaction(lsm::CompactionJob job, uint64_t queue_us) {
     stats_.compaction_gather_waves += result.gather_waves;
     stats_.compaction_bytes_read += result.bytes_read;
     stats_.compaction_bytes_written += result.bytes_written;
+    stats_.sstable_stored_bytes += result.bytes_written;
+    stats_.sstable_raw_bytes += result.raw_bytes_written;
   }
   {
     std::lock_guard<std::mutex> cl(compaction_mu_);
@@ -1624,6 +1654,11 @@ RangeStats RangeEngine::stats() const {
     out.block_cache_hits = owned_block_cache_->hits();
     out.block_cache_misses = owned_block_cache_->misses();
     out.block_cache_bytes = owned_block_cache_->TotalCharge();
+  }
+  if (owned_compressed_cache_ != nullptr) {
+    out.block_cache_compressed_hits = owned_compressed_cache_->hits();
+    out.block_cache_compressed_misses = owned_compressed_cache_->misses();
+    out.block_cache_compressed_bytes = owned_compressed_cache_->TotalCharge();
   }
   out.readahead_issued =
       readahead_counters_.issued.load(std::memory_order_relaxed);

@@ -73,6 +73,19 @@ struct RangeEngineOptions {
   /// LtcServer normally share one node-wide cache instead
   /// (LtcServerOptions::block_cache_bytes).
   size_t block_cache_bytes = 0;
+  /// Compressed-block cache budget (the second tier: verbatim stored
+  /// bytes, served by decompressing in LTC memory instead of a StoC
+  /// round-trip) when this engine runs standalone. 0 = no compressed
+  /// tier. LtcServer-hosted engines share the node-wide tier instead
+  /// (LtcServerOptions::compressed_cache_bytes).
+  size_t compressed_cache_bytes = 0;
+  /// Codec data blocks are written with (CompressionCodec id). 0 = unset —
+  /// LtcServer-hosted engines inherit LtcServerOptions::compression_codec,
+  /// standalone engines default to kNovaLzCompression; -1 = force raw.
+  int compression_codec = 0;
+  /// Hot-tier fraction of a privately owned block cache (see
+  /// NewShardedLRUCache); >= 1 disables the two-queue split.
+  double cache_hot_fraction = 0.75;
   /// Scan readahead: how many data blocks an SSTable scan iterator keeps
   /// in flight past its position (prefetched into the block cache while
   /// the current block drains). 0 = unset — LtcServer-hosted engines
@@ -121,6 +134,18 @@ struct RangeStats {
   uint64_t block_cache_hits = 0;
   uint64_t block_cache_misses = 0;
   uint64_t block_cache_bytes = 0;
+  /// Compressed-tier counters (same ownership rule as the hot tier).
+  uint64_t block_cache_compressed_hits = 0;
+  uint64_t block_cache_compressed_misses = 0;
+  uint64_t block_cache_compressed_bytes = 0;
+  /// Compression accounting: stored (possibly compressed) vs raw bytes of
+  /// every SSTable this range built (flushes + compactions, including
+  /// offloaded ones). raw/stored = the achieved compression ratio.
+  uint64_t sstable_stored_bytes = 0;
+  uint64_t sstable_raw_bytes = 0;
+  /// StoC wire traffic (StocClient byte counters; shared-client rule as
+  /// pod_reads — filled once by LtcServer::TotalStats).
+  uint64_t bytes_over_wire = 0;
   /// Scan-readahead counters: prefetches issued and prefetches that
   /// served a block the scan then consumed.
   uint64_t readahead_issued = 0;
@@ -173,6 +198,12 @@ struct RangeStats {
     block_cache_hits += o.block_cache_hits;
     block_cache_misses += o.block_cache_misses;
     block_cache_bytes += o.block_cache_bytes;
+    block_cache_compressed_hits += o.block_cache_compressed_hits;
+    block_cache_compressed_misses += o.block_cache_compressed_misses;
+    block_cache_compressed_bytes += o.block_cache_compressed_bytes;
+    sstable_stored_bytes += o.sstable_stored_bytes;
+    sstable_raw_bytes += o.sstable_raw_bytes;
+    bytes_over_wire += o.bytes_over_wire;
     readahead_issued += o.readahead_issued;
     readahead_hits += o.readahead_hits;
     compaction_gather_waves += o.compaction_gather_waves;
@@ -200,10 +231,14 @@ class RangeEngine {
   /// block_cache (optional): node-wide data-block cache shared by every
   /// range on the LTC; when null and options.block_cache_bytes > 0 the
   /// engine creates a private one.
+  /// compressed_cache (optional): node-wide compressed block tier; when
+  /// null and options.compressed_cache_bytes > 0 the engine creates a
+  /// private one.
   RangeEngine(const RangeEngineOptions& options, stoc::StocClient* client,
               const std::vector<rdma::NodeId>& stocs,
               sim::CpuThrottle* throttle, ThreadPool* flush_pool,
-              ThreadPool* compaction_pool, Cache* block_cache = nullptr);
+              ThreadPool* compaction_pool, Cache* block_cache = nullptr,
+              Cache* compressed_cache = nullptr);
   ~RangeEngine();
 
   RangeEngine(const RangeEngine&) = delete;
@@ -327,6 +362,10 @@ class RangeEngine {
   std::unique_ptr<lsm::VersionSet> versions_;
   std::unique_ptr<Cache> owned_block_cache_;
   Cache* block_cache_ = nullptr;
+  std::unique_ptr<Cache> owned_compressed_cache_;
+  Cache* compressed_cache_ = nullptr;
+  /// Resolved from options_.compression_codec (null = store raw).
+  const Compressor* compressor_ = nullptr;
   std::unique_ptr<lsm::TableCache> table_cache_;
   std::unique_ptr<lsm::SSTablePlacer> placer_;
   std::unique_ptr<lsm::CompactionExecutor> executor_;

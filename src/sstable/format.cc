@@ -17,6 +17,52 @@ Status BlockHandle::DecodeFrom(Slice* input) {
   return Status::Corruption("bad block handle");
 }
 
+void EncodeBlockTo(const Slice& raw, const Compressor* compressor,
+                   std::string* dst) {
+  const size_t start = dst->size();
+  uint8_t codec = kNoCompression;
+  if (compressor != nullptr && compressor->Compress(raw, dst)) {
+    codec = compressor->id();
+  } else {
+    dst->append(raw.data(), raw.size());
+  }
+  dst->push_back(static_cast<char>(codec));
+  PutFixed32(dst, static_cast<uint32_t>(raw.size()));
+  // The crc spans payload + codec + uncompressed_len, so a flipped codec
+  // byte or length is caught by the same check as a payload flip.
+  uint32_t crc = crc32c::Value(dst->data() + start, dst->size() - start);
+  PutFixed32(dst, crc32c::Mask(crc));
+}
+
+Status DecodeBlock(const Slice& stored, std::string* raw) {
+  if (stored.size() < kBlockTrailerSize) {
+    return Status::Corruption("stored block shorter than its trailer");
+  }
+  const size_t payload_len = stored.size() - kBlockTrailerSize;
+  const char* trailer = stored.data() + payload_len;
+  // Checksum first: nothing downstream (codec dispatch, decompression)
+  // ever sees bytes that failed the crc.
+  uint32_t expected = crc32c::Unmask(DecodeFixed32(trailer + 5));
+  if (crc32c::Value(stored.data(), payload_len + 5) != expected) {
+    return Status::Corruption("block checksum mismatch");
+  }
+  uint8_t codec = static_cast<uint8_t>(trailer[0]);
+  uint32_t uncompressed_len = DecodeFixed32(trailer + 1);
+  Slice payload(stored.data(), payload_len);
+  if (codec == kNoCompression) {
+    if (payload_len != uncompressed_len) {
+      return Status::Corruption("raw block length mismatch");
+    }
+    raw->assign(payload.data(), payload.size());
+    return Status::OK();
+  }
+  const Compressor* compressor = GetCompressor(codec);
+  if (compressor == nullptr) {
+    return Status::Corruption("unknown block codec");
+  }
+  return compressor->Uncompress(payload, uncompressed_len, raw);
+}
+
 bool SSTableMetadata::Locate(uint64_t global_offset, int* fragment,
                              uint64_t* local_offset) const {
   uint64_t base = 0;
@@ -44,6 +90,7 @@ void SSTableMetadata::EncodeTo(std::string* dst) const {
   PutLengthPrefixedSlice(&body, smallest.Encode());
   PutLengthPrefixedSlice(&body, largest.Encode());
   PutVarint64(&body, num_entries);
+  PutVarint32(&body, block_format);
   PutFixed32(&body, crc32c::Mask(crc32c::Value(body.data(), body.size())));
   dst->append(body);
 }
@@ -79,6 +126,12 @@ Status SSTableMetadata::DecodeFrom(Slice input) {
       !GetLengthPrefixedSlice(&body, &large) ||
       !GetVarint64(&body, &num_entries)) {
     return Status::Corruption("bad sstable metadata body");
+  }
+  // Metadata written before compression shipped ends right after
+  // num_entries: absent field = format 0 = trailerless blocks.
+  block_format = 0;
+  if (!body.empty() && !GetVarint32(&body, &block_format)) {
+    return Status::Corruption("bad sstable metadata block format");
   }
   index_contents = idx.ToString();
   bloom = blm.ToString();

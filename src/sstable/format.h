@@ -3,16 +3,28 @@
 // (usually) different StoC, and a small metadata block (index + bloom +
 // fragment map) that is replicated (paper Sections 4.4, 3.1).
 //
-//   fragment 0: [data block][data block]...
-//   fragment 1: [data block]...
+//   fragment 0: [stored block][stored block]...
+//   fragment 1: [stored block]...
 //   ...
 //   metadata  : fragment sizes | index block | bloom | smallest/largest |
-//               num_entries | crc32c
+//               num_entries | block_format | crc32c
 //
 // The index block maps last-key-in-block -> BlockHandle(global offset,
 // size); SSTableMetadata::Locate translates a global offset into
 // (fragment, local offset), which is this repo's equivalent of the paper's
 // "convert index block to StoC block handles".
+//
+// A *stored* block (block_format >= 1) is the block contents — compressed
+// when the codec saves space — followed by a 9-byte trailer:
+//
+//   [payload][codec:1][uncompressed_len:4 LE][crc32c:4 LE]
+//
+// The crc covers payload + codec + uncompressed_len and is verified
+// BEFORE any decompression, so a corrupted payload is reported as
+// Status::Corruption instead of being fed to the decoder. Codec 0 means
+// the payload is stored raw. block_format 0 is the legacy trailerless
+// layout (files written before compression existed); readers handle both.
+// See docs/block_format.md.
 #ifndef NOVA_SSTABLE_FORMAT_H_
 #define NOVA_SSTABLE_FORMAT_H_
 
@@ -22,10 +34,25 @@
 #include <vector>
 
 #include "mem/dbformat.h"
+#include "util/compressor.h"
 #include "util/slice.h"
 #include "util/status.h"
 
 namespace nova {
+
+/// codec byte + fixed32 uncompressed length + fixed32 crc32c.
+constexpr size_t kBlockTrailerSize = 9;
+
+/// Append `raw` block contents to *dst as a stored block: compressed under
+/// `compressor` when that shrinks it (codec 0 / raw otherwise), plus the
+/// trailer. Null compressor always stores raw (still checksummed).
+void EncodeBlockTo(const Slice& raw, const Compressor* compressor,
+                   std::string* dst);
+
+/// Verify a stored block's trailer (crc first, then codec) and place the
+/// uncompressed contents in *raw. Returns Corruption — never crashes — on
+/// a checksum mismatch, an unknown codec byte, or a truncated payload.
+Status DecodeBlock(const Slice& stored, std::string* raw);
 
 struct BlockHandle {
   uint64_t offset = 0;  // global offset within the SSTable's data stream
@@ -44,6 +71,10 @@ struct SSTableMetadata {
   InternalKey smallest;
   InternalKey largest;
   uint64_t num_entries = 0;
+  /// 0 = legacy trailerless data blocks; >= 1 = each block carries the
+  /// codec/length/crc trailer. Decoded as 0 from metadata written before
+  /// the field existed, so old files stay readable.
+  uint32_t block_format = 0;
 
   int num_fragments() const { return static_cast<int>(fragment_sizes.size()); }
 

@@ -37,11 +37,15 @@ void SSTableBuilder::FlushBlock() {
   Slice contents = data_block_.Finish();
   BlockHandle handle;
   handle.offset = data_.size();
-  handle.size = contents.size();
+  // The handle covers the *stored* block — payload (compressed when that
+  // shrinks it) plus trailer — so fragment partitioning, Locate, and
+  // readahead windows keep working on stored offsets unchanged.
+  EncodeBlockTo(contents, options_.compressor, &data_);
+  handle.size = data_.size() - handle.offset;
+  raw_bytes_ += contents.size() + kBlockTrailerSize;
   block_offsets_.push_back(handle.offset);
   index_keys_.push_back(last_key_);
   index_handles_.push_back(handle);
-  data_.append(contents.data(), contents.size());
   data_block_.Reset();
 }
 
@@ -53,6 +57,8 @@ SSTableBuilder::Result SSTableBuilder::Finish(uint64_t file_number,
   result.meta.file_number = file_number;
   result.meta.data_size = data_.size();
   result.meta.num_entries = num_entries_;
+  result.meta.block_format = 1;  // every block carries the trailer
+  result.raw_bytes = raw_bytes_;
   if (!first_key_.empty()) {
     result.meta.smallest.DecodeFrom(first_key_);
     result.meta.largest.DecodeFrom(last_key_);

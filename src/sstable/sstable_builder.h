@@ -17,6 +17,10 @@ namespace nova {
 struct SSTableBuilderOptions {
   size_t block_size = 4096;
   int bloom_bits_per_key = 10;
+  /// Per-block codec; null stores every block raw (codec 0). Blocks that
+  /// do not shrink under the codec fall back to raw individually, so an
+  /// incompressible block never pays decompression on the read path.
+  const Compressor* compressor = nullptr;
 };
 
 class SSTableBuilder {
@@ -33,8 +37,12 @@ class SSTableBuilder {
   bool empty() const { return num_entries_ == 0; }
 
   struct Result {
-    std::string data;       // all data blocks, concatenated
+    std::string data;       // all stored data blocks, concatenated
     SSTableMetadata meta;   // fragment_sizes populated per num_fragments
+    /// What data.size() would have been with no codec (raw payloads +
+    /// trailers): data.size() / raw_bytes is the file's compression
+    /// ratio, rolled into RangeStats for the bytes-over-wire benches.
+    uint64_t raw_bytes = 0;
   };
 
   /// Finalize. num_fragments is clamped to [1, #data blocks]; fragments
@@ -55,6 +63,7 @@ class SSTableBuilder {
   std::string last_key_;
   std::string first_key_;
   uint64_t num_entries_ = 0;
+  uint64_t raw_bytes_ = 0;  // stored size had every block been raw
 };
 
 }  // namespace nova

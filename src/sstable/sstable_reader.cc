@@ -11,6 +11,10 @@ void DeleteCachedBlock(const Slice& /*key*/, void* value) {
   delete static_cast<Block*>(value);
 }
 
+void DeleteCachedStoredBytes(const Slice& /*key*/, void* value) {
+  delete static_cast<std::string*>(value);
+}
+
 /// A shared_ptr that releases the cache pin (not the block) when dropped;
 /// the cache's deleter frees the block once it is evicted and unpinned.
 std::shared_ptr<Block> PinnedBlock(Cache* cache, Cache::Handle* handle) {
@@ -38,10 +42,14 @@ std::string BlockCacheKey(uint32_t range_id, uint64_t file_number,
 SSTableReader::SSTableReader(SSTableMetadata meta, BlockFetcher* fetcher,
                              Cache* block_cache, uint32_t range_id,
                              int readahead_blocks,
-                             ReadaheadCounters* readahead)
+                             ReadaheadCounters* readahead,
+                             Cache* compressed_cache)
     : meta_(std::move(meta)),
       fetcher_(fetcher),
       block_cache_(block_cache),
+      // Legacy trailerless blocks are not self-describing, so they cannot
+      // live in the compressed tier.
+      compressed_cache_(meta_.block_format >= 1 ? compressed_cache : nullptr),
       range_id_(range_id),
       readahead_blocks_(readahead_blocks),
       readahead_(readahead) {}
@@ -62,16 +70,41 @@ bool SSTableReader::KeyMayMatch(const Slice& user_key) const {
 
 Status SSTableReader::ReadBlock(const BlockHandle& handle,
                                 std::shared_ptr<Block>* block,
-                                bool fill_cache) const {
+                                bool fill_cache,
+                                Cache::Priority pri) const {
   std::string cache_key;
-  if (block_cache_ != nullptr) {
+  if (block_cache_ != nullptr || compressed_cache_ != nullptr) {
     cache_key = BlockCacheKey(range_id_, meta_.file_number, handle.offset);
+  }
+  if (block_cache_ != nullptr) {
     // Compaction streams (fill_cache=false) stay out of the hit/miss
     // stats: they are one-shot reads, not read-path traffic.
-    Cache::Handle* h = block_cache_->Lookup(cache_key, /*count=*/fill_cache);
+    Cache::Handle* h =
+        block_cache_->Lookup(cache_key, /*count=*/fill_cache, pri);
     if (h != nullptr) {
       *block = PinnedBlock(block_cache_, h);
       return Status::OK();
+    }
+  }
+  if (compressed_cache_ != nullptr) {
+    // Hot-tier miss, compressed-tier hit: decompress in place — no StoC
+    // round-trip. The decoded block is (re)installed into the hot tier;
+    // the compressed copy stays resident until its own LRU retires it.
+    Cache::Handle* ch =
+        compressed_cache_->Lookup(cache_key, /*count=*/fill_cache, pri);
+    if (ch != nullptr) {
+      const auto* stored =
+          static_cast<const std::string*>(compressed_cache_->Value(ch));
+      std::string raw;
+      Status ds = DecodeBlock(*stored, &raw);
+      compressed_cache_->Release(ch);
+      if (ds.ok()) {
+        *block = InstallHot(std::move(raw), handle.offset, fill_cache, pri);
+        return Status::OK();
+      }
+      // A poisoned tier entry (should not happen — inserts were verified)
+      // is dropped and the block refetched rather than surfaced.
+      compressed_cache_->Erase(cache_key);
     }
   }
   int fragment;
@@ -88,36 +121,68 @@ Status SSTableReader::ReadBlock(const BlockHandle& handle,
     return s;
   }
   return InstallBlock(std::move(contents), handle.offset, handle.size,
-                      fill_cache, block);
+                      fill_cache, pri, block);
 }
 
-Status SSTableReader::InstallBlock(std::string contents, uint64_t offset,
-                                   uint64_t size, bool fill_cache,
-                                   std::shared_ptr<Block>* block) const {
-  if (contents.size() != size) {
-    return Status::Corruption("short block read");
-  }
+std::shared_ptr<Block> SSTableReader::InstallHot(std::string raw,
+                                                 uint64_t offset,
+                                                 bool fill_cache,
+                                                 Cache::Priority pri) const {
   if (block_cache_ != nullptr && fill_cache) {
-    auto* b = new Block(std::move(contents));
+    auto* b = new Block(std::move(raw));
     Cache::Handle* h = block_cache_->Insert(
         BlockCacheKey(range_id_, meta_.file_number, offset), b,
-        b->size() + sizeof(Block), &DeleteCachedBlock);
-    *block = PinnedBlock(block_cache_, h);
-  } else {
-    *block = std::make_shared<Block>(std::move(contents));
+        b->size() + sizeof(Block), &DeleteCachedBlock, pri);
+    return PinnedBlock(block_cache_, h);
   }
+  return std::make_shared<Block>(std::move(raw));
+}
+
+Status SSTableReader::InstallBlock(std::string stored, uint64_t offset,
+                                   uint64_t size, bool fill_cache,
+                                   Cache::Priority pri,
+                                   std::shared_ptr<Block>* block) const {
+  if (stored.size() != size) {
+    return Status::Corruption("short block read");
+  }
+  std::string raw;
+  if (meta_.block_format >= 1) {
+    // crc is checked before the codec ever runs; see DecodeBlock.
+    Status s = DecodeBlock(stored, &raw);
+    if (!s.ok()) {
+      return s;
+    }
+  } else {
+    raw = std::move(stored);  // legacy: the stored bytes are the block
+  }
+  if (compressed_cache_ != nullptr && fill_cache) {
+    // Both tiers are filled on a network read, so eviction from the small
+    // hot tier demotes to the compressed copy instead of dropping the
+    // block (RocksDB-style).
+    auto* copy = new std::string(std::move(stored));
+    size_t charge = copy->size() + sizeof(std::string);
+    compressed_cache_->Release(compressed_cache_->Insert(
+        BlockCacheKey(range_id_, meta_.file_number, offset), copy, charge,
+        &DeleteCachedStoredBytes, pri));
+  }
+  *block = InstallHot(std::move(raw), offset, fill_cache, pri);
   return Status::OK();
 }
 
 std::unique_ptr<SSTableReader::PendingBlock> SSTableReader::Prefetch(
     const BlockHandle& handle, ReadaheadCounters* counters) const {
-  if (block_cache_ != nullptr) {
-    // Already resident: the iterator's ReadBlock will hit; nothing to do.
-    Cache::Handle* h = block_cache_->Lookup(
+  // Already resident in either tier: the iterator's ReadBlock will hit
+  // (decompressing from the compressed tier if need be); nothing to do.
+  // kCold lookups so probing cannot promote scan blocks into the hot set.
+  for (Cache* cache : {block_cache_, compressed_cache_}) {
+    if (cache == nullptr) {
+      continue;
+    }
+    Cache::Handle* h = cache->Lookup(
         BlockCacheKey(range_id_, meta_.file_number, handle.offset),
-        /*count=*/false);
+        /*count=*/false, Cache::Priority::kCold);
     if (h != nullptr) {
-      block_cache_->Release(h);
+      cache->Release(h);
       return nullptr;
     }
   }
@@ -147,8 +212,9 @@ Status SSTableReader::FinishPrefetch(PendingBlock* pb,
   std::string contents;
   Status s = pb->pending->Wait(&contents);
   if (s.ok()) {
+    // Readahead is scan traffic by definition: cold admission.
     s = InstallBlock(std::move(contents), pb->offset, pb->size, fill_cache,
-                     block);
+                     Cache::Priority::kCold, block);
   }
   if (s.ok() && counters != nullptr) {
     counters->hits.fetch_add(1, std::memory_order_relaxed);
@@ -312,7 +378,10 @@ class SSTableIterator : public Iterator {
       }
       break;  // prefetch failed; retry through the synchronous path
     }
-    return reader_->ReadBlock(handle, &block_, fill_cache_);
+    // Scans admit cold: a sweep fills the cold queue and cannot evict the
+    // point-get working set (see Cache::Priority).
+    return reader_->ReadBlock(handle, &block_, fill_cache_,
+                              Cache::Priority::kCold);
   }
 
   /// Keep the next readahead_blocks_ data blocks in flight. Prefetches

@@ -46,10 +46,17 @@ class SSTableReader {
   /// readahead_blocks: how many data blocks a scan iterator prefetches
   /// past its current position (0 = off); readahead (optional) receives
   /// issued/hit counts and must outlive the reader.
+  /// compressed_cache (optional): the compressed block tier. Misses in
+  /// block_cache that hit here decompress in LTC memory instead of
+  /// costing a StoC round-trip; network fills land in both tiers, so a
+  /// block evicted from the small hot tier "falls back" to its compressed
+  /// copy rather than being lost. Only consulted for block_format >= 1
+  /// files (the trailer makes the stored bytes self-describing).
   SSTableReader(SSTableMetadata meta, BlockFetcher* fetcher,
                 Cache* block_cache = nullptr, uint32_t range_id = 0,
                 int readahead_blocks = 0,
-                ReadaheadCounters* readahead = nullptr);
+                ReadaheadCounters* readahead = nullptr,
+                Cache* compressed_cache = nullptr);
 
   /// True if the bloom filter admits the key (or there is no filter).
   bool KeyMayMatch(const Slice& user_key) const;
@@ -69,11 +76,14 @@ class SSTableReader {
   Iterator* NewIterator(bool fill_cache = true,
                         int readahead_blocks = -1) const;
 
-  /// Fetch (or serve from the block cache) the data block at handle. The
+  /// Fetch (or serve from a cache tier) the data block at handle. The
   /// returned shared_ptr pins the cached entry, so a block stays usable
   /// while iterators hold it even if the cache evicts it concurrently.
+  /// pri: cache admission class — point gets default to kHot; scan
+  /// iterators pass kCold so a sweep cannot evict the get working set.
   Status ReadBlock(const BlockHandle& handle, std::shared_ptr<Block>* block,
-                   bool fill_cache = true) const;
+                   bool fill_cache = true,
+                   Cache::Priority pri = Cache::Priority::kHot) const;
 
   /// --- Scan readahead (used by the iterator; exposed for tests) ---
 
@@ -110,15 +120,24 @@ class SSTableReader {
   /// The index block is materialized lazily so a bloom-rejected Get never
   /// touches (or allocates) it — bloom-before-index on the read path.
   Block* index_block() const;
-  /// Shared tail of ReadBlock/FinishPrefetch: validate the fetched bytes
-  /// and either insert them into the block cache (pinned) or hand back a
-  /// private block.
-  Status InstallBlock(std::string contents, uint64_t offset, uint64_t size,
-                      bool fill_cache, std::shared_ptr<Block>* block) const;
+  /// Shared tail of ReadBlock/FinishPrefetch for bytes that arrived over
+  /// the wire: verify/decode the stored block (crc before decompression)
+  /// and install the result into the cache tiers (uncompressed into the
+  /// hot tier under pri, verbatim stored bytes into the compressed tier)
+  /// or hand back a private block.
+  Status InstallBlock(std::string stored, uint64_t offset, uint64_t size,
+                      bool fill_cache, Cache::Priority pri,
+                      std::shared_ptr<Block>* block) const;
+  /// Insert an already-decoded block into the hot tier (or wrap it
+  /// privately when uncached) and hand back the pin.
+  std::shared_ptr<Block> InstallHot(std::string raw, uint64_t offset,
+                                    bool fill_cache,
+                                    Cache::Priority pri) const;
 
   SSTableMetadata meta_;
   BlockFetcher* fetcher_;
   Cache* block_cache_;
+  Cache* compressed_cache_;
   uint32_t range_id_;
   int readahead_blocks_;
   ReadaheadCounters* readahead_;

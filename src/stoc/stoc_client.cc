@@ -41,6 +41,23 @@ void StocClient::ReportRpc(rdma::NodeId stoc, const Status& s) {
   }
 }
 
+void StocClient::CountWire(rdma::NodeId stoc, uint64_t sent,
+                           uint64_t received) {
+  if (sent > 0) {
+    bytes_sent_.fetch_add(sent, std::memory_order_relaxed);
+  }
+  if (received > 0) {
+    bytes_received_.fetch_add(received, std::memory_order_relaxed);
+  }
+  std::shared_ptr<StocLoad> l = load(stoc);
+  if (sent > 0) {
+    l->bytes_sent.fetch_add(sent, std::memory_order_relaxed);
+  }
+  if (received > 0) {
+    l->bytes_received.fetch_add(received, std::memory_order_relaxed);
+  }
+}
+
 Status StocClient::SimpleCall(rdma::NodeId stoc, const std::string& req,
                               Slice* body, std::string* storage,
                               int timeout_ms) {
@@ -51,6 +68,7 @@ Status StocClient::SimpleCall(rdma::NodeId stoc, const std::string& req,
   }
   if (s.ok()) {
     s = endpoint_->Call(stoc, req, storage, timeout_ms);
+    CountWire(stoc, req.size(), s.ok() ? storage->size() : 0);
   }
   ReportRpc(stoc, s);
   if (!s.ok()) {
@@ -113,6 +131,9 @@ Status PendingRead::Wait(std::string* out, int timeout_ms) {
   Settle(s.ok());
   if (client_ != nullptr) {
     client_->ReportRpc(stoc_, s);
+    if (s.ok()) {
+      client_->CountWire(stoc_, 0, storage.size());
+    }
   }
   if (!s.ok()) {
     return s;
@@ -167,6 +188,7 @@ Status PendingAppend::Arm() {
   armed_status_ = alloc_.Wait(&storage);
   Slice body;
   if (armed_status_.ok()) {
+    client_->CountWire(stoc_, 0, storage.size());
     armed_status_ = ParseResponse(storage, &body);
   }
   uint32_t mr_id = 0;
@@ -179,6 +201,9 @@ Status PendingAppend::Arm() {
     armed_status_ = ep->fabric()->Write(ep->node(), data_,
                                         rdma::RemoteAddr{stoc_, mr_id, 0},
                                         true, mr_id);
+    if (armed_status_.ok()) {
+      client_->CountWire(stoc_, data_.size(), 0);
+    }
   }
   if (!armed_status_.ok()) {
     flush_ack_.Wait(nullptr, 0);  // reap the never-to-complete token
@@ -205,6 +230,9 @@ Status PendingAppend::Wait(StocBlockHandle* handle, int timeout_ms) {
   Status s = flush_ack_.Wait(&payload, timeout_ms);
   settled_ = true;  // waited (or timed out, which withdrew the slot)
   client_->ReportRpc(stoc_, s);
+  if (s.ok()) {
+    client_->CountWire(stoc_, 0, payload.size());
+  }
   if (!s.ok()) {
     return s;
   }
@@ -244,6 +272,7 @@ PendingAppend StocClient::AsyncAppendBlock(rdma::NodeId stoc,
   PutVarint64(&req, data.size());
   PutVarint64(&req, token);
   pending.alloc_ = endpoint_->AsyncCall(stoc, req);
+  CountWire(stoc, req.size(), 0);
   return pending;
 }
 
@@ -350,6 +379,7 @@ PendingRead StocClient::AsyncReadBlock(rdma::NodeId stoc, uint64_t file_id,
   pending.load_->issued.fetch_add(1, std::memory_order_relaxed);
   pending.start_us_ = NowUs();
   pending.future_ = endpoint_->AsyncCall(stoc, req);
+  CountWire(stoc, req.size(), 0);
   return pending;
 }
 
@@ -613,10 +643,14 @@ Status StocClient::WriteInMem(const InMemFileHandle& handle,
       if (local + data.size() > region.size) {
         return Status::InvalidArgument("write spans region boundary");
       }
-      return endpoint_->fabric()->Write(
+      Status ws = endpoint_->fabric()->Write(
           endpoint_->node(), data,
           rdma::RemoteAddr{handle.stoc_id, region.mr_id, local},
           /*notify=*/false, 0);
+      if (ws.ok()) {
+        CountWire(handle.stoc_id, data.size(), 0);
+      }
+      return ws;
     }
     base += region.size;
   }
@@ -630,9 +664,13 @@ Status StocClient::ReadInMemRegion(const InMemFileHandle& handle,
   }
   const InMemRegion& region = handle.regions[region_index];
   out->resize(region.size);
-  return endpoint_->fabric()->Read(
+  Status rs = endpoint_->fabric()->Read(
       endpoint_->node(), rdma::RemoteAddr{handle.stoc_id, region.mr_id, 0},
       out->data(), region.size);
+  if (rs.ok()) {
+    CountWire(handle.stoc_id, 0, region.size);
+  }
+  return rs;
 }
 
 Status StocClient::NicAppend(const InMemFileHandle& handle,

@@ -56,6 +56,10 @@ struct StocLoad {
   std::atomic<uint64_t> ewma_us{0};
   /// Lifetime reads issued to this StoC (tests pin replica selection).
   std::atomic<uint64_t> issued{0};
+  /// Wire traffic to/from this StoC: request + one-sided write bytes out,
+  /// response-body bytes in (benchmarks report bytes_over_wire with it).
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> bytes_received{0};
   /// Test hook: bias added to outstanding when ranking replicas, so load
   /// can be injected deterministically without real in-flight reads.
   std::atomic<int> rank_bias{0};
@@ -251,6 +255,15 @@ class StocClient {
   uint64_t hedged_won() const {
     return hedged_won_.load(std::memory_order_relaxed);
   }
+  /// Lifetime wire traffic through this client, all StoCs: request and
+  /// one-sided-write payload bytes out, response-body bytes in. Per-StoC
+  /// numbers live in load(stoc)->bytes_sent/bytes_received.
+  uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_received() const {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
 
   Status DeleteFile(rdma::NodeId stoc, uint64_t file_id, bool in_memory);
 
@@ -293,6 +306,10 @@ class StocClient {
 
  private:
   friend class PendingRead;
+  friend class PendingAppend;
+
+  /// Account wire traffic for one RPC leg (rollup + per-StoC).
+  void CountWire(rdma::NodeId stoc, uint64_t sent, uint64_t received);
 
   Status SimpleCall(rdma::NodeId stoc, const std::string& req, Slice* body,
                     std::string* storage, int timeout_ms = 30000);
@@ -318,6 +335,8 @@ class StocClient {
   std::atomic<uint64_t> pod_reads_{0};
   std::atomic<uint64_t> hedged_issued_{0};
   std::atomic<uint64_t> hedged_won_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
 
   std::mutex load_mu_;
   ReadPolicy policy_;

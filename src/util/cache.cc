@@ -26,8 +26,8 @@ uint32_t HashSlice(const Slice& s) {
 }
 
 /// Intrusive entry: lives in one hash bucket chain and (while resident)
-/// on one of the shard's two circular lists. refs counts the cache's own
-/// reference (while resident) plus one per outstanding client handle.
+/// on one of the shard's three circular lists. refs counts the cache's
+/// own reference (while resident) plus one per outstanding client handle.
 struct LRUHandle {
   void* value;
   void (*deleter)(const Slice&, void*);
@@ -37,6 +37,7 @@ struct LRUHandle {
   size_t charge;
   size_t key_length;
   bool in_cache;  // resident (findable by Lookup)?
+  bool hot;       // hot-queue member (vs cold/scan queue)?
   uint32_t refs;
   uint32_t hash;
   char key_data[1];  // trailing key bytes
@@ -125,27 +126,34 @@ class HandleTable {
   LRUHandle** list_ = nullptr;
 };
 
-/// One mutex-protected LRU. lru_ holds resident entries nobody has pinned
-/// (eviction candidates, oldest first); in_use_ holds resident entries
-/// with outstanding handles — they are never evicted, only detached, so a
+/// One mutex-protected two-queue LRU. hot_lru_ and cold_lru_ hold
+/// resident entries nobody has pinned (eviction candidates, oldest
+/// first; cold evicted before hot); in_use_ holds resident entries with
+/// outstanding handles — they are never evicted, only detached, so a
 /// cache smaller than the working set still serves every in-flight read.
 class LRUShard {
  public:
   ~LRUShard() {
     assert(in_use_.next == &in_use_);  // callers must release all handles
-    for (LRUHandle* h = lru_.next; h != &lru_;) {
-      LRUHandle* next = h->next;
-      assert(h->refs == 1);
-      h->in_cache = false;  // dropping the cache's own reference
-      Unref(h);
-      h = next;
+    for (LRUHandle* list : {&hot_lru_, &cold_lru_}) {
+      for (LRUHandle* h = list->next; h != list;) {
+        LRUHandle* next = h->next;
+        assert(h->refs == 1);
+        h->in_cache = false;  // dropping the cache's own reference
+        Unref(h);
+        h = next;
+      }
     }
   }
 
-  void set_capacity(size_t capacity) { capacity_ = capacity; }
+  void set_capacity(size_t capacity, size_t hot_capacity) {
+    capacity_ = capacity;
+    hot_capacity_ = hot_capacity;
+  }
 
   LRUHandle* Insert(const Slice& key, uint32_t hash, void* value,
-                    size_t charge, void (*deleter)(const Slice&, void*)) {
+                    size_t charge, void (*deleter)(const Slice&, void*),
+                    bool hot) {
     auto* h = static_cast<LRUHandle*>(
         malloc(sizeof(LRUHandle) - 1 + key.size()));
     h->value = value;
@@ -154,21 +162,38 @@ class LRUShard {
     h->key_length = key.size();
     h->hash = hash;
     h->in_cache = true;
+    h->hot = hot;
     h->refs = 2;  // the cache's reference + the returned handle
     memcpy(h->key_data, key.data(), key.size());
 
     std::lock_guard<std::mutex> l(mu_);
     ListAppend(&in_use_, h);
     usage_ += charge;
+    if (hot) {
+      hot_usage_ += charge;
+    }
     FinishErase(table_.Insert(h));
+    MaintainHotLocked();
     EvictLocked();
     return h;
   }
 
-  LRUHandle* Lookup(const Slice& key, uint32_t hash) {
+  LRUHandle* Lookup(const Slice& key, uint32_t hash, bool promote) {
     std::lock_guard<std::mutex> l(mu_);
     LRUHandle* h = table_.Lookup(key, hash);
     if (h != nullptr) {
+      // Two-queue second-access rule: a hot-class hit on a cold entry
+      // promotes it. The list move happens in Ref (unpinned entries) or
+      // at Unref time via h->hot (pinned ones).
+      if (promote && !h->hot) {
+        h->hot = true;
+        hot_usage_ += h->charge;
+        if (h->refs == 1 && h->in_cache) {
+          ListRemove(h);
+          ListAppend(&hot_lru_, h);
+        }
+        MaintainHotLocked();
+      }
       Ref(h);
     }
     return h;
@@ -204,7 +229,7 @@ class LRUShard {
 
  private:
   void Ref(LRUHandle* h) {
-    if (h->refs == 1 && h->in_cache) {  // on lru_: move to in_use_
+    if (h->refs == 1 && h->in_cache) {  // on an lru list: move to in_use_
       ListRemove(h);
       ListAppend(&in_use_, h);
     }
@@ -220,7 +245,7 @@ class LRUShard {
       free(h);
     } else if (h->in_cache && h->refs == 1) {  // no pins left: evictable
       ListRemove(h);
-      ListAppend(&lru_, h);
+      ListAppend(h->hot ? &hot_lru_ : &cold_lru_, h);
       EvictLocked();
     }
   }
@@ -232,13 +257,38 @@ class LRUShard {
       h->in_cache = false;
       ListRemove(h);
       usage_ -= h->charge;
+      if (h->hot) {
+        hot_usage_ -= h->charge;
+      }
       Unref(h);
     }
   }
 
+  /// Keep the hot queue within its share: overflow demotes the oldest
+  /// unpinned hot entries onto the cold queue's MRU end (the midpoint) —
+  /// they age through the cold queue instead of being dropped. Pinned hot
+  /// entries cannot be demoted; the loop simply stops when only those
+  /// remain over budget.
+  void MaintainHotLocked() {
+    while (hot_usage_ > hot_capacity_ && hot_lru_.next != &hot_lru_) {
+      LRUHandle* old = hot_lru_.next;  // oldest unpinned hot entry
+      old->hot = false;
+      hot_usage_ -= old->charge;
+      ListRemove(old);
+      ListAppend(&cold_lru_, old);
+    }
+  }
+
   void EvictLocked() {
-    while (usage_ > capacity_ && lru_.next != &lru_) {
-      LRUHandle* old = lru_.next;  // oldest unpinned entry
+    // Cold queue first: scans and streams evict each other; the hot
+    // working set goes only when there is nothing cold left to shed.
+    while (usage_ > capacity_) {
+      LRUHandle* old = cold_lru_.next != &cold_lru_ ? cold_lru_.next
+                       : hot_lru_.next != &hot_lru_ ? hot_lru_.next
+                                                    : nullptr;
+      if (old == nullptr) {
+        break;  // everything resident is pinned
+      }
       assert(old->refs == 1);
       FinishErase(table_.Remove(old->key(), old->hash));
     }
@@ -259,39 +309,53 @@ class LRUShard {
 
   mutable std::mutex mu_;
   size_t capacity_ = 0;
+  size_t hot_capacity_ = 0;
   size_t usage_ = 0;
+  size_t hot_usage_ = 0;  // includes pinned (in_use_) hot entries
   HandleTable table_;
   // Dummy heads of the circular lists.
-  LRUHandle lru_{nullptr,  nullptr, nullptr, &lru_, &lru_,
-                 0,        0,       false,   0,     0,
-                 {0}};
+  LRUHandle hot_lru_{nullptr, nullptr, nullptr, &hot_lru_, &hot_lru_,
+                     0,       0,       false,   false,     0,
+                     0,       {0}};
+  LRUHandle cold_lru_{nullptr, nullptr, nullptr, &cold_lru_, &cold_lru_,
+                      0,       0,       false,   false,      0,
+                      0,       {0}};
   LRUHandle in_use_{nullptr, nullptr, nullptr, &in_use_, &in_use_,
-                    0,       0,       false,   0,        0,
-                    {0}};
+                    0,       0,       false,   false,    0,
+                    0,       {0}};
 };
 
 class ShardedLRUCache final : public Cache {
  public:
-  ShardedLRUCache(size_t capacity, int shard_bits)
+  ShardedLRUCache(size_t capacity, int shard_bits, double hot_fraction)
       : shard_bits_(shard_bits), capacity_(capacity),
+        two_queue_(hot_fraction < 1.0 && hot_fraction > 0.0),
         shards_(1u << shard_bits) {
     // Round the per-shard capacity up so the shards sum to >= capacity.
     size_t per_shard = (capacity + shards_.size() - 1) / shards_.size();
+    // hot_fraction >= 1 (or <= 0): classic LRU — the hot queue takes
+    // everything and priorities are coerced to kHot below.
+    size_t hot_per_shard =
+        two_queue_ ? static_cast<size_t>(per_shard * hot_fraction)
+                   : per_shard;
     for (auto& s : shards_) {
-      s.set_capacity(per_shard);
+      s.set_capacity(per_shard, hot_per_shard);
     }
   }
 
   Handle* Insert(const Slice& key, void* value, size_t charge,
-                 void (*deleter)(const Slice&, void*)) override {
+                 void (*deleter)(const Slice&, void*),
+                 Priority pri) override {
     uint32_t hash = HashSlice(key);
+    bool hot = !two_queue_ || pri == Priority::kHot;
     return reinterpret_cast<Handle*>(
-        ShardFor(hash).Insert(key, hash, value, charge, deleter));
+        ShardFor(hash).Insert(key, hash, value, charge, deleter, hot));
   }
 
-  Handle* Lookup(const Slice& key, bool count) override {
+  Handle* Lookup(const Slice& key, bool count, Priority pri) override {
     uint32_t hash = HashSlice(key);
-    LRUHandle* h = ShardFor(hash).Lookup(key, hash);
+    bool promote = two_queue_ && pri == Priority::kHot;
+    LRUHandle* h = ShardFor(hash).Lookup(key, hash, promote);
     if (count) {
       (h != nullptr ? hits_ : misses_)
           .fetch_add(1, std::memory_order_relaxed);
@@ -355,6 +419,7 @@ class ShardedLRUCache final : public Cache {
 
   int shard_bits_;
   size_t capacity_;
+  bool two_queue_;
   std::vector<LRUShard> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
@@ -362,8 +427,9 @@ class ShardedLRUCache final : public Cache {
 
 }  // namespace
 
-Cache* NewShardedLRUCache(size_t capacity, int shard_bits) {
-  return new ShardedLRUCache(capacity, shard_bits);
+Cache* NewShardedLRUCache(size_t capacity, int shard_bits,
+                          double hot_fraction) {
+  return new ShardedLRUCache(capacity, shard_bits, hot_fraction);
 }
 
 }  // namespace nova

@@ -45,9 +45,10 @@ void DeleteTracked(const Slice&, void* value) {
 }
 
 Cache::Handle* InsertTracked(Cache* cache, Tracker* tracker,
-                             const std::string& key, int id, size_t charge) {
+                             const std::string& key, int id, size_t charge,
+                             Cache::Priority pri = Cache::Priority::kHot) {
   return cache->Insert(key, new TrackedValue{tracker, id}, charge,
-                       &DeleteTracked);
+                       &DeleteTracked, pri);
 }
 
 int ValueId(Cache* cache, Cache::Handle* h) {
@@ -208,6 +209,121 @@ TEST(ShardedLRUCacheTest, ConcurrentThrash) {
 }
 
 // ---------------------------------------------------------------------------
+// Two-queue (scan-resistant) admission. All single-shard so queue order
+// is global and deterministic.
+// ---------------------------------------------------------------------------
+
+TEST(TwoQueueLRUCacheTest, ColdInsertsCannotEvictHotWorkingSet) {
+  // Hot budget 50 of 100: the two point-get blocks fit entirely in the
+  // hot queue; a scan flood many times the cache size may only evict
+  // other scan blocks.
+  std::unique_ptr<Cache> cache(
+      NewShardedLRUCache(100, /*shard_bits=*/0, /*hot_fraction=*/0.5));
+  Tracker tracker;
+  cache->Release(InsertTracked(cache.get(), &tracker, "h0", 0, 20));
+  cache->Release(InsertTracked(cache.get(), &tracker, "h1", 1, 20));
+  for (int i = 0; i < 20; i++) {
+    cache->Release(InsertTracked(cache.get(), &tracker,
+                                 "scan" + std::to_string(i), 100 + i, 20,
+                                 Cache::Priority::kCold));
+  }
+  for (const char* key : {"h0", "h1"}) {
+    Cache::Handle* h = cache->Lookup(key, /*count=*/false);
+    ASSERT_NE(h, nullptr) << key << " evicted by a scan flood";
+    cache->Release(h);
+  }
+  EXPECT_LE(cache->TotalCharge(), 100u);
+}
+
+TEST(TwoQueueLRUCacheTest, HotLookupPromotesColdEntryColdLookupDoesNot) {
+  std::unique_ptr<Cache> cache(
+      NewShardedLRUCache(100, /*shard_bits=*/0, /*hot_fraction=*/0.5));
+  Tracker tracker;
+  cache->Release(InsertTracked(cache.get(), &tracker, "promoted", 1, 20,
+                               Cache::Priority::kCold));
+  cache->Release(InsertTracked(cache.get(), &tracker, "left_cold", 2, 20,
+                               Cache::Priority::kCold));
+  // A point-get touch (kHot lookup) moves the entry to the hot queue...
+  Cache::Handle* h = cache->Lookup("promoted");
+  ASSERT_NE(h, nullptr);
+  cache->Release(h);
+  // ...while an iterator touch (kCold lookup) leaves it in the cold
+  // queue, where the subsequent flood ages it out.
+  h = cache->Lookup("left_cold", /*count=*/true, Cache::Priority::kCold);
+  ASSERT_NE(h, nullptr);
+  cache->Release(h);
+  for (int i = 0; i < 20; i++) {
+    cache->Release(InsertTracked(cache.get(), &tracker,
+                                 "scan" + std::to_string(i), 100 + i, 20,
+                                 Cache::Priority::kCold));
+  }
+  h = cache->Lookup("promoted", /*count=*/false);
+  ASSERT_NE(h, nullptr) << "promoted entry fell to the scan flood";
+  cache->Release(h);
+  EXPECT_EQ(cache->Lookup("left_cold", /*count=*/false), nullptr);
+}
+
+TEST(TwoQueueLRUCacheTest, HotOverflowDemotesOldestToColdMidpoint) {
+  // Hot budget 40: three 20-charge hot inserts overflow it, demoting the
+  // oldest (h0) onto the cold queue — still resident (usage 60 < 100),
+  // but now first in line for eviction.
+  std::unique_ptr<Cache> cache(
+      NewShardedLRUCache(100, /*shard_bits=*/0, /*hot_fraction=*/0.4));
+  Tracker tracker;
+  cache->Release(InsertTracked(cache.get(), &tracker, "h0", 0, 20));
+  cache->Release(InsertTracked(cache.get(), &tracker, "h1", 1, 20));
+  cache->Release(InsertTracked(cache.get(), &tracker, "h2", 2, 20));
+  EXPECT_EQ(tracker.deletions.load(), 0);  // demoted, never evicted
+  for (const char* key : {"h0", "h1", "h2"}) {
+    // kCold lookups: residency probes that do not reshuffle the queues.
+    Cache::Handle* h =
+        cache->Lookup(key, /*count=*/false, Cache::Priority::kCold);
+    ASSERT_NE(h, nullptr) << key;
+    cache->Release(h);
+  }
+  // Push usage past capacity: the demoted h0 is the cold LRU victim;
+  // the still-hot h1/h2 survive.
+  for (int i = 0; i < 3; i++) {
+    cache->Release(InsertTracked(cache.get(), &tracker,
+                                 "c" + std::to_string(i), 100 + i, 20,
+                                 Cache::Priority::kCold));
+  }
+  EXPECT_EQ(cache->Lookup("h0", /*count=*/false, Cache::Priority::kCold),
+            nullptr);
+  for (const char* key : {"h1", "h2"}) {
+    Cache::Handle* h =
+        cache->Lookup(key, /*count=*/false, Cache::Priority::kCold);
+    ASSERT_NE(h, nullptr) << key;
+    cache->Release(h);
+  }
+  EXPECT_LE(cache->TotalCharge(), 100u);
+}
+
+TEST(TwoQueueLRUCacheTest, HotFractionOneIsClassicLRU) {
+  // hot_fraction >= 1 disables the split: priorities are coerced to hot
+  // and eviction is pure recency order.
+  std::unique_ptr<Cache> cache(
+      NewShardedLRUCache(100, /*shard_bits=*/0, /*hot_fraction=*/1.0));
+  Tracker tracker;
+  cache->Release(InsertTracked(cache.get(), &tracker, "a", 1, 40));
+  cache->Release(InsertTracked(cache.get(), &tracker, "b", 2, 40,
+                               Cache::Priority::kCold));
+  Cache::Handle* h = cache->Lookup("a");
+  ASSERT_NE(h, nullptr);
+  cache->Release(h);
+  // Overflow evicts the LRU entry ("b") even though "a" was the kCold-
+  // insert peer's elder: no cold queue exists to evict first.
+  cache->Release(InsertTracked(cache.get(), &tracker, "c", 3, 40,
+                               Cache::Priority::kCold));
+  EXPECT_EQ(cache->Lookup("b", /*count=*/false), nullptr);
+  for (const char* key : {"a", "c"}) {
+    h = cache->Lookup(key, /*count=*/false);
+    ASSERT_NE(h, nullptr) << key;
+    cache->Release(h);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end: block cache through the cluster read path.
 // ---------------------------------------------------------------------------
 
@@ -241,6 +357,9 @@ ClusterOptions FastOptions(size_t block_cache_bytes) {
 class BlockCacheClusterTest : public testing::Test {
  protected:
   void StartCluster(const ClusterOptions& opt) {
+    if (cluster_) {
+      cluster_->Stop();  // A/B tests restart with different options
+    }
     cluster_ = std::make_unique<Cluster>(opt);
     cluster_->Start();
   }
@@ -365,7 +484,12 @@ TEST_F(BlockCacheClusterTest, TinyCacheThrashStaysCorrect) {
 }
 
 TEST_F(BlockCacheClusterTest, CompactedFilesAreInvalidated) {
-  StartCluster(FastOptions(/*block_cache_bytes=*/8 << 20));
+  ClusterOptions opt = FastOptions(/*block_cache_bytes=*/8 << 20);
+  // Raw blocks: the L0 compaction trigger is byte-based and this test's
+  // few fixed rounds must exceed it regardless of how well the payload
+  // compresses.
+  opt.range.compression_codec = -1;
+  StartCluster(opt);
   auto* engine = cluster_->ltc(0)->ranges()[0];
   const int kKeys = 300;
   std::map<std::string, std::string> oracle;
@@ -414,6 +538,101 @@ TEST_F(BlockCacheClusterTest, CompactedFilesAreInvalidated) {
     }
   }
   EXPECT_EQ(dead_cached, 0) << "compacted-away files still cached";
+}
+
+/// Options for the two-tier / admission tests: a dataset several times
+/// the hot tier, big memtables (few files, so reader metadata stays
+/// small), and compaction pushed out of the way so the file set is
+/// stable between the measured passes.
+ClusterOptions TierOptions(size_t hot_bytes) {
+  ClusterOptions opt = FastOptions(hot_bytes);
+  opt.range.memtable_size = 64 << 10;
+  opt.range.max_sstable_size = 256 << 10;
+  opt.range.lsm.l0_compaction_trigger_bytes = 4 << 20;
+  opt.range.lsm.l0_stop_bytes = 16 << 20;
+  return opt;
+}
+
+std::string BulkyValue(int i) {
+  return std::string(1000, 'v') + std::to_string(i);
+}
+
+TEST_F(BlockCacheClusterTest, CompressedTierServesEvictionsWithoutStoc) {
+  // Hot tier (128 KB) far smaller than the ~1.1 MB uncompressed dataset;
+  // compressed tier big enough for everything. The warm pass misses the
+  // hot tier constantly, but every miss lands in the compressed tier and
+  // decompresses in place — zero StoC round trips.
+  ClusterOptions opt = TierOptions(/*hot_bytes=*/128 << 10);
+  opt.ltc.compressed_cache_bytes = 8 << 20;
+  StartCluster(opt);
+  const int kKeys = 1000;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(cluster_->Put(Key(i), BulkyValue(i)).ok());
+  }
+  FlushAll();
+
+  auto read_all = [&] {
+    for (int i = 0; i < kKeys; i++) {
+      std::string value;
+      Status s = cluster_->Get(Key(i), &value);
+      ASSERT_TRUE(s.ok()) << Key(i) << " " << s.ToString();
+      ASSERT_EQ(value, BulkyValue(i));
+    }
+  };
+  read_all();  // cold: fills both tiers from the StoCs
+  uint64_t after_cold = StocReads();
+  ASSERT_GT(after_cold, 0u);
+  read_all();  // warm: hot misses are absorbed by the compressed tier
+  EXPECT_EQ(StocReads() - after_cold, 0u)
+      << "hot-tier misses went to the StoC instead of the compressed tier";
+
+  ltc::RangeStats stats = cluster_->TotalStats();
+  EXPECT_GT(stats.block_cache_compressed_hits, 0u);
+  EXPECT_GT(stats.block_cache_compressed_bytes, 0u);
+  // The compressed tier holds the dataset in far less than its raw size.
+  EXPECT_GT(stats.sstable_raw_bytes, stats.sstable_stored_bytes);
+  EXPECT_GT(stats.bytes_over_wire, 0u);
+}
+
+TEST_F(BlockCacheClusterTest, ScanFloodKeepsPointGetWorkingSetWithTwoQueue) {
+  // A/B over the admission policy with an identical workload: warm a
+  // point-get working set, sweep the whole keyspace with a scan, then
+  // measure how many StoC reads it takes to serve the working set again.
+  // Two-queue admission (scan blocks enter cold) must preserve the
+  // working set; classic LRU (hot_fraction 1.0) flushes it.
+  const int kKeys = 1000;
+  const int kWorkingSet = 40;
+  auto rewarm_reads = [&](double hot_fraction) {
+    ClusterOptions opt = TierOptions(/*hot_bytes=*/384 << 10);
+    opt.ltc.cache_hot_fraction = hot_fraction;
+    StartCluster(opt);
+    for (int i = 0; i < kKeys; i++) {
+      EXPECT_TRUE(cluster_->Put(Key(i), BulkyValue(i)).ok());
+    }
+    FlushAll();
+    auto get_working_set = [&] {
+      for (int i = 0; i < kWorkingSet; i++) {
+        std::string value;
+        Status s = cluster_->Get(Key(i), &value);
+        EXPECT_TRUE(s.ok()) << Key(i) << " " << s.ToString();
+        EXPECT_EQ(value, BulkyValue(i));
+      }
+    };
+    get_working_set();  // warm the hot queue
+    std::vector<std::pair<std::string, std::string>> out;
+    EXPECT_TRUE(cluster_->Scan(Key(0), kKeys, &out).ok());
+    EXPECT_EQ(out.size(), static_cast<size_t>(kKeys));
+    uint64_t after_scan = StocReads();
+    get_working_set();
+    return StocReads() - after_scan;
+  };
+
+  uint64_t two_queue = rewarm_reads(/*hot_fraction=*/0.75);
+  uint64_t classic = rewarm_reads(/*hot_fraction=*/1.0);
+  EXPECT_EQ(two_queue, 0u)
+      << "scan flood evicted the point-get working set despite cold admission";
+  EXPECT_GT(classic, two_queue)
+      << "control: classic LRU should have had to re-fetch the working set";
 }
 
 }  // namespace

@@ -242,6 +242,7 @@ TEST(CompactionJobTest, SerializeRoundTrip) {
   job.is_last_level = true;
   job.first_output_number = 77;
   job.readahead_blocks = 4;
+  job.compression_codec = 1;
 
   CompactionJob out;
   ASSERT_TRUE(out.Deserialize(job.Serialize()).ok());
@@ -254,6 +255,7 @@ TEST(CompactionJobTest, SerializeRoundTrip) {
   EXPECT_TRUE(out.is_last_level);
   EXPECT_EQ(out.first_output_number, 77u);
   EXPECT_EQ(out.readahead_blocks, 4);
+  EXPECT_EQ(out.compression_codec, 1);
 }
 
 TEST(CompactionResultTest, SerializeRoundTrip) {
@@ -264,6 +266,7 @@ TEST(CompactionResultTest, SerializeRoundTrip) {
   result.gather_waves = 7;
   result.bytes_read = 4096;
   result.bytes_written = 2048;
+  result.raw_bytes_written = 4000;
   CompactionResult out;
   ASSERT_TRUE(out.Deserialize(result.Serialize()).ok());
   ASSERT_EQ(out.outputs.size(), 1u);
@@ -273,6 +276,7 @@ TEST(CompactionResultTest, SerializeRoundTrip) {
   EXPECT_EQ(out.gather_waves, 7u);
   EXPECT_EQ(out.bytes_read, 4096u);
   EXPECT_EQ(out.bytes_written, 2048u);
+  EXPECT_EQ(out.raw_bytes_written, 4000u);
 }
 
 /// Fuzz-ish: random jobs — empty input lists, empty boundary sets, huge
@@ -307,6 +311,7 @@ TEST(CompactionJobTest, SerializeRoundTripFuzz) {
     job.is_last_level = rng.OneIn(2);
     job.first_output_number = rng.Next();
     job.readahead_blocks = rng.OneIn(3) ? 0 : static_cast<int>(rng.Uniform(64));
+    job.compression_codec = rng.OneIn(2) ? 0 : static_cast<int>(rng.Uniform(4));
 
     std::string encoded = job.Serialize();
     CompactionJob out;
@@ -328,6 +333,7 @@ TEST(CompactionJobTest, SerializeRoundTripFuzz) {
     EXPECT_EQ(out.is_last_level, job.is_last_level);
     EXPECT_EQ(out.first_output_number, job.first_output_number);
     EXPECT_EQ(out.readahead_blocks, job.readahead_blocks);
+    EXPECT_EQ(out.compression_codec, job.compression_codec);
 
     // Re-encoding the decoded job must be byte-identical (canonical form).
     EXPECT_EQ(out.Serialize(), encoded) << "iter " << iter;
